@@ -1,0 +1,27 @@
+# Convenience targets for the masked SpGEMM reproduction.
+
+PY ?= python3
+
+.PHONY: install test bench figures measured examples clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/ -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+figures:
+	$(PY) -m repro.bench --all
+
+measured:
+	REPRO_MEASURED=1 $(PY) -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PY) $$f || exit 1; done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

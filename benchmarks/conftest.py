@@ -1,0 +1,52 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every ``test_figXX_*`` file regenerates one evaluation figure of the paper:
+it runs the experiment (model mode by default — see DESIGN.md on why the
+machine model carries the paper's *shape* claims), renders the same rows /
+series / grids the paper plots, writes them to ``benchmarks/results/`` and
+asserts the paper's qualitative findings.
+
+Environment knobs:
+
+* ``REPRO_MEASURED=1`` — additionally run the wall-clock (measured) variant
+  of the profile experiments on the vectorized schemes.
+* ``REPRO_SCALE=<float>`` — scale factor for the suite graph sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+MEASURED = os.environ.get("REPRO_MEASURED", "0") == "1"
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir, request):
+    """Write a rendered figure to benchmarks/results/<test-stem>.txt and
+    echo it to stdout."""
+
+    def _save(text: str, suffix: str = "") -> None:
+        stem = request.node.name.replace("/", "_").replace("[", "_").replace("]", "")
+        path = results_dir / f"{stem}{suffix}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save
+
+
+def require_measured():
+    if not MEASURED:
+        pytest.skip("measured mode disabled (set REPRO_MEASURED=1)")

@@ -1,0 +1,170 @@
+"""Ablations of the design choices DESIGN.md calls out:
+
+* heap NInspect parameter (0 / 1 / inf) — operation-count tradeoff
+  (Section 5.5);
+* hash load factor — probe-count sensitivity (Section 5.3's 0.25 choice);
+* 1P scratch sizing: mask bound vs flops upper bound (Section 6);
+* symbolic-phase overhead across the suite (the 2P tax).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import masked_spgemm_reference, one_phase_bound
+from repro.core.accumulators.hash import table_capacity
+from repro.graphs import erdos_renyi, load
+from repro.machine import OpCounter, flops_per_row, total_flops
+from repro.semiring import PLUS_TIMES
+
+
+class TestNInspectAblation:
+    def _heap_ops(self, n_inspect, a, b, m):
+        """Run the reference heap kernel at a given NInspect and collect
+        counters (monkey-level: heapdot == inf, heap == 1)."""
+        from repro.core.reference import spgevm_heap
+
+        counter = OpCounter()
+        a = a.sort_indices()
+        b = b.sort_indices()
+        m = m.sort_indices()
+        for i in range(a.nrows):
+            mc, _ = m.row(i)
+            uc, uv = a.row(i)
+            if len(mc) == 0 or len(uc) == 0:
+                continue
+            spgevm_heap(mc, uc, uv, b, PLUS_TIMES, counter, n_inspect)
+        return counter
+
+    def test_ninspect_tradeoff(self, benchmark, save_result):
+        a = erdos_renyi(512, 512, 4, seed=1)
+        b = erdos_renyi(512, 512, 4, seed=2)
+        m = erdos_renyi(512, 512, 16, seed=3)
+
+        def run():
+            return {
+                ni: self._heap_ops(ni, a, b, m)
+                for ni in (0, 1, float("inf"))
+            }
+
+        res = benchmark.pedantic(run, rounds=1, iterations=1)
+        lines = ["NInspect ablation (heap pushes / mask scans):"]
+        for ni, c in res.items():
+            lines.append(
+                f"  NInspect={ni}: pushes={c.heap_pushes} scans={c.mask_scans} "
+                f"flops={c.flops}"
+            )
+        save_result("\n".join(lines))
+
+        # more inspection -> fewer heap pushes, more mask scans
+        assert res[float("inf")].heap_pushes <= res[1].heap_pushes
+        assert res[1].heap_pushes <= res[0].heap_pushes
+        assert res[float("inf")].mask_scans >= res[1].mask_scans
+        # all variants compute the same masked product (same useful flops)
+        assert res[0].flops == res[1].flops == res[float("inf")].flops
+
+
+class TestHashLoadFactor:
+    @pytest.mark.parametrize("load", [0.125, 0.25, 0.5, 0.9])
+    def test_capacity_monotone(self, benchmark, load):
+        cap = benchmark.pedantic(
+            lambda: table_capacity(1000, load), rounds=1, iterations=1
+        )
+        assert cap >= 1000 / load
+
+    def test_probe_counts_grow_with_load(self, benchmark, save_result):
+        """Fuller tables probe more — the reason the paper fixes 0.25."""
+        from repro.core.accumulators import HashAccumulator
+
+        rng = np.random.default_rng(0)
+        keys = rng.choice(100000, size=500, replace=False)
+
+        def probes_at(load):
+            acc = HashAccumulator.__new__(HashAccumulator)
+            from repro.core.accumulators.hash import _OpenAddressTable
+            from repro.machine import OpCounter as OC
+
+            counter = OC()
+            cap = table_capacity(len(keys), load)
+            table = _OpenAddressTable(cap, 0.0, counter)
+            for k in keys:
+                table.slot(int(k), create=True)
+            return counter.hash_probes / len(keys)
+
+        def run():
+            return {load: probes_at(load) for load in (0.125, 0.25, 0.5, 0.9)}
+
+        res = benchmark.pedantic(run, rounds=1, iterations=1)
+        save_result(
+            "Hash load-factor ablation (avg probes/insert): "
+            + ", ".join(f"{k}: {v:.2f}" for k, v in res.items())
+        )
+        assert res[0.125] <= res[0.25] <= res[0.5] <= res[0.9]
+        assert res[0.25] < 1.5  # the paper's choice keeps chains short
+
+
+class TestOnePhaseScratchSizing:
+    def test_mask_bound_far_below_flops_bound(self, benchmark, save_result):
+        """Section 6: the mask is a good output-size approximation — the 1P
+        scratch sized by the mask is much smaller than the flops upper
+        bound a plain-SpGEMM 1P scheme would need."""
+        g = load("rmat-12")
+        low = g.tril(-1)
+
+        def run():
+            _, mask_bound = one_phase_bound(low, low, low)
+            flops_bound = total_flops(low, low)
+            c = OpCounter()
+            out = masked_spgemm_reference(low, low, low, algo="msa", counter=c)
+            return mask_bound, flops_bound, out.nnz
+
+        mask_bound, flops_bound, out_nnz = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+        save_result(
+            f"1P scratch sizing: output={out_nnz}, mask bound={mask_bound}, "
+            f"flops bound={flops_bound} "
+            f"(mask bound is {flops_bound / max(1, mask_bound):.1f}x tighter)"
+        )
+        assert out_nnz <= mask_bound <= flops_bound
+        assert mask_bound < 0.5 * flops_bound
+
+    def test_per_row_bound_tightness(self, benchmark):
+        a = erdos_renyi(256, 256, 6, seed=7)
+        m = erdos_renyi(256, 256, 6, seed=8)
+
+        def run():
+            bound, _ = one_phase_bound(a, a, m)
+            fl = flops_per_row(a, a)
+            return bound, fl
+
+        bound, fl = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert np.all(bound <= np.minimum(m.row_nnz(), fl))
+
+
+class TestSymbolicOverhead:
+    def test_two_phase_tax_across_suite(self, benchmark, save_result):
+        """The 2P symbolic sweep re-traverses all flops — the reason 1P
+        wins for masked SpGEMM (Section 6 / all profile figures)."""
+        from repro.core import symbolic_masked
+
+        names = ["er-mid-s", "rmat-10", "smallworld-s"]
+
+        def run():
+            taxes = {}
+            for name in names:
+                g = load(name).tril(-1)
+                c = OpCounter()
+                symbolic_masked(g, g, g, counter=c)
+                useful = OpCounter()
+                masked_spgemm_reference(g, g, g, algo="msa", counter=useful)
+                taxes[name] = c.symbolic_flops / max(1, useful.flops)
+            return taxes
+
+        taxes = benchmark.pedantic(run, rounds=1, iterations=1)
+        save_result(
+            "2P symbolic tax (symbolic flops / useful numeric flops): "
+            + ", ".join(f"{k}: {v:.1f}x" for k, v in taxes.items())
+        )
+        # the symbolic sweep always costs at least the useful numeric work
+        for name, tax in taxes.items():
+            assert tax >= 1.0, name

@@ -1,0 +1,83 @@
+"""Figure 7 — the best-performing scheme as a function of input-matrix and
+mask density (Erdős–Rényi, Haswell).
+
+Paper claims asserted here:
+
+* Inner wins when the mask is much sparser than the inputs.
+* Heap/HeapDot win when the inputs are much sparser than the mask.
+* MSA/Hash (the accumulator schemes) win the comparable-density middle.
+"""
+
+import pytest
+
+from repro.bench import fig07_density_grid, render_grid
+from repro.machine import HASWELL, KNL
+
+DEGREES = (1, 2, 4, 8, 16, 32, 64)
+
+
+@pytest.mark.parametrize("machine", [HASWELL, KNL], ids=["haswell", "knl"])
+def test_fig07_density_grid(benchmark, machine, save_result):
+    res = benchmark.pedantic(
+        lambda: fig07_density_grid(n=4096, degrees=DEGREES, machine=machine),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        render_grid(
+            "input_deg",
+            "mask_deg",
+            res.input_degrees,
+            res.mask_degrees,
+            res.winners,
+            title=f"Figure 7 — best scheme per density cell ({machine.name}, n={res.n})",
+        )
+    )
+
+    w = res.winners
+    # mask much sparser than inputs -> Inner
+    assert w[(64, 1)] == "Inner-1P"
+    assert w[(32, 1)] == "Inner-1P"
+    assert w[(64, 2)] == "Inner-1P"
+    # inputs much sparser than mask -> heap family
+    assert w[(1, 64)] in ("Heap-1P", "HeapDot-1P")
+    assert w[(1, 32)] in ("Heap-1P", "HeapDot-1P")
+    # comparable density -> accumulator schemes
+    assert w[(32, 32)] in ("MSA-1P", "Hash-1P", "MCA-1P")
+    assert w[(64, 64)] in ("MSA-1P", "Hash-1P", "MCA-1P")
+    # all three regimes appear
+    kinds = res.winner_set()
+    assert any(k.startswith("Inner") for k in kinds)
+    assert any(k.startswith(("Heap", "HeapDot")) for k in kinds)
+    assert any(k.startswith(("MSA", "Hash", "MCA")) for k in kinds)
+
+
+def test_fig07_msa_to_hash_crossover_with_size(benchmark, save_result):
+    """Section 8.1's size effect: at comparable density the dense MSA
+    accumulator wins on small matrices and loses to Hash once the dense
+    arrays overflow the private cache."""
+
+    def run():
+        from repro.graphs import erdos_renyi
+        from repro.machine import RowCostModel
+
+        out = {}
+        for n in (1024, 1 << 19):
+            a = erdos_renyi(n, n, 8, seed=1)
+            m = erdos_renyi(n, n, 8, seed=2)
+            model = RowCostModel(a, a, m, HASWELL)
+            out[n] = {
+                "msa": model.estimate("msa").total_cycles,
+                "hash": model.estimate("hash").total_cycles,
+            }
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    small, large = res[1024], res[1 << 19]
+    save_result(
+        "MSA/Hash crossover:\n"
+        f"  n=1024:    msa={small['msa']:.3g}  hash={small['hash']:.3g}\n"
+        f"  n=524288: msa={large['msa']:.3g}  hash={large['hash']:.3g}"
+    )
+    assert small["msa"] < small["hash"]
+    assert large["hash"] < large["msa"]

@@ -1,0 +1,33 @@
+"""Figure 9 — Triangle Counting: our best schemes vs SuiteSparse:GraphBLAS
+(SS:DOT, SS:SAXPY stand-ins).
+
+Paper claim asserted: "all our algorithms outperform SS:GB algorithms in
+almost all cases" — the SS:GB schemes win (or tie) at most a small fraction
+of cases and rank below our best schemes.
+"""
+
+from repro.bench import fig09_tc_vs_ssgb, render_profile
+
+from conftest import SCALE
+
+
+def test_fig09_tc_vs_ssgb(benchmark, save_result):
+    prof = benchmark.pedantic(
+        lambda: fig09_tc_vs_ssgb(scale_factor=SCALE, mode="model"),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(render_profile(
+        prof, title="Figure 9 — TC: our schemes vs SS:GB (model, haswell)"
+    ))
+
+    ranking = prof.ranking()
+    # our best scheme leads
+    assert ranking[0] == "MSA-1P"
+    # SS:GB wins almost nothing outright
+    assert prof.fraction_best("SS:DOT") <= 0.1
+    assert prof.fraction_best("SS:SAXPY") <= 0.15
+    # and both rank below our top two schemes by profile area
+    ours_top2 = [s for s in ranking if not s.startswith("SS:")][:2]
+    for ss in ("SS:DOT", "SS:SAXPY"):
+        assert ranking.index(ss) > max(ranking.index(o) for o in ours_top2)

@@ -1,0 +1,29 @@
+"""Figure 13 — k-truss: our best schemes vs SS:GB.
+
+Paper claim asserted: our MSA-1P (Haswell's winner) performs significantly
+better than both SS:GB schemes.
+"""
+
+from repro.bench import fig13_ktruss_vs_ssgb, render_profile
+
+from conftest import SCALE
+
+
+def test_fig13_ktruss_vs_ssgb(benchmark, save_result):
+    prof = benchmark.pedantic(
+        lambda: fig13_ktruss_vs_ssgb(scale_factor=SCALE, k=5, mode="model"),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(render_profile(
+        prof, title="Figure 13 — k-truss: ours vs SS:GB (model, haswell)"
+    ))
+
+    ranking = prof.ranking()
+    assert ranking[0] == "MSA-1P"
+    # SS:GB schemes below our best two
+    ours_top2 = [s for s in ranking if not s.startswith("SS:")][:2]
+    for ss in ("SS:DOT", "SS:SAXPY"):
+        assert ranking.index(ss) > max(ranking.index(o) for o in ours_top2), ss
+    # our winner dominates: best or tied-best in the large majority of cases
+    assert prof.fraction_best("MSA-1P") >= 0.5

@@ -1,0 +1,42 @@
+"""Figure 14 — k-truss GFLOPS vs R-MAT scale.
+
+Paper claims asserted:
+
+* pull-based schemes (Inner, SS:DOT) grow their GFLOPS rate strongly with
+  scale — "algorithms deemed inefficient for plain SpGEMM can attain quite
+  good performance when mask becomes part of the multiplication";
+* push-based MSA-1P also grows on Haswell.
+"""
+
+import os
+
+from repro.bench import fig14_ktruss_rmat_scaling, render_series
+from repro.machine import HASWELL
+
+MAX_SCALE = int(os.environ.get("REPRO_RMAT_MAX", "11"))
+SCALES = tuple(range(6, MAX_SCALE + 1))
+
+
+def test_fig14_ktruss_rmat_scaling(benchmark, save_result):
+    res = benchmark.pedantic(
+        lambda: fig14_ktruss_rmat_scaling(scales=SCALES, k=5, machine=HASWELL),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(render_series(
+        "scale", res.xs, res.series,
+        title="Figure 14 — k-truss GFLOPS vs R-MAT scale (haswell)",
+    ))
+
+    for name in ("Inner-1P", "SS:DOT", "MSA-1P"):
+        curve = res.series[name]
+        assert max(curve) > 1.5 * curve[0], name  # strong growth with scale
+
+    # the pull-based schemes' growth factor is at least comparable to the
+    # push-based hash scheme's (the paper's "pull attains better rates")
+    def growth(name):
+        c = res.series[name]
+        return max(c) / c[0]
+
+    assert growth("Inner-1P") >= growth("Hash-1P") * 0.8
+    assert growth("SS:DOT") >= growth("Hash-1P") * 0.8

@@ -1,0 +1,45 @@
+"""Figure 15 — Betweenness Centrality MTEPS vs R-MAT scale (paper: batch
+512, scales 8-20; laptop default batch 48, scales 6-10).
+
+Paper claims asserted:
+
+* push-based schemes (MSA-1P, Hash-1P, SS:SAXPY) raise their MTEPS rate as
+  the input grows;
+* SS:DOT is crippled by the dense BC masks + per-call transpose.
+"""
+
+import os
+
+from repro.bench import fig15_bc_rmat_scaling, render_series
+from repro.machine import HASWELL
+
+MAX_SCALE = int(os.environ.get("REPRO_RMAT_MAX", "10"))
+SCALES = tuple(range(6, MAX_SCALE + 1))
+BATCH = int(os.environ.get("REPRO_BC_BATCH", "48"))
+
+
+def test_fig15_bc_rmat_scaling(benchmark, save_result):
+    res = benchmark.pedantic(
+        lambda: fig15_bc_rmat_scaling(
+            scales=SCALES, batch_size=BATCH, machine=HASWELL
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(render_series(
+        "scale", res.xs, res.series,
+        title=f"Figure 15 — BC MTEPS vs R-MAT scale (haswell, batch {BATCH})",
+    ))
+
+    # push-based schemes improve with scale
+    for name in ("MSA-1P", "Hash-1P", "SS:SAXPY"):
+        curve = res.series[name]
+        assert max(curve) > curve[0], name
+
+    # MSA-1P is the best scheme at every scale
+    for i in range(len(SCALES)):
+        best = max(res.series, key=lambda s: res.series[s][i])
+        assert best == "MSA-1P", (SCALES[i], best)
+
+    # SS:DOT trails the push-based schemes badly (dense masks + transpose)
+    assert max(res.series["SS:DOT"]) < 0.7 * max(res.series["MSA-1P"])

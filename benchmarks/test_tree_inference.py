@@ -1,0 +1,63 @@
+"""Benchmark — masked SpGEMM for label-tree inference (paper intro, citing
+Etter et al. [21]).
+
+Asserts the mechanism: beam-search flops grow with beam width but stay a
+small fraction of exhaustive scoring, while recall grows with the beam.
+Also wall-clock-times the masked inference kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    beam_search_inference,
+    exhaustive_inference,
+    random_label_tree,
+)
+from repro.graphs import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tree = random_label_tree(4000, branching=8, depth=4, nnz_per_node=16,
+                             seed=1)
+    x = erdos_renyi(48, 4000, 30, seed=2)
+    return tree, x
+
+
+def test_flops_vs_recall_sweep(benchmark, setup, save_result):
+    tree, x = setup
+
+    def run():
+        exact = exhaustive_inference(tree, x, top_k=5)
+        rows = []
+        for beam in (1, 4, 16):
+            res = beam_search_inference(tree, x, beam_width=beam, top_k=5,
+                                        algo="mca")
+            recall = float(np.isin(res.labels, exact.labels).mean())
+            rows.append((beam, res.masked_flops, recall))
+        return exact.counter.flops, rows
+
+    exact_flops, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"Tree inference ({tree.n_labels} labels, batch {x.nrows}): "
+             f"exhaustive = {exact_flops} flops"]
+    for beam, fl, rec in rows:
+        lines.append(f"  beam {beam:>3}: {fl:>7} flops "
+                     f"({exact_flops / max(1, fl):5.1f}x saving), "
+                     f"recall@5 = {rec:.2%}")
+    save_result("\n".join(lines))
+
+    # flops grow with beam width but never exceed a fraction of exhaustive
+    flops = [fl for _, fl, _ in rows]
+    assert flops == sorted(flops)
+    assert flops[-1] < 0.5 * exact_flops
+    # recall improves from the narrowest to the widest beam
+    assert rows[-1][2] > rows[0][2]
+
+
+def test_inference_kernel_wallclock(benchmark, setup):
+    tree, x = setup
+    res = benchmark(
+        lambda: beam_search_inference(tree, x, beam_width=4, top_k=5)
+    )
+    assert res.labels.shape == (48, 5)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Batched Betweenness Centrality with masked SpGEMM (paper Section 8.4).
+
+Runs multi-source Brandes on an R-MAT graph, showing:
+
+* the complemented-mask forward sweep (frontier expansion that never
+  re-visits a vertex) and the plain-mask backward sweep,
+* TEPS throughput for the complement-capable algorithms,
+* agreement with an exact networkx check on a small graph (if networkx is
+  installed).
+
+Run:  python examples/betweenness_centrality.py
+"""
+
+import numpy as np
+
+from repro.apps import betweenness_centrality, multi_source_bfs
+from repro.graphs import erdos_renyi_graph, rmat
+
+
+def main() -> None:
+    g = rmat(10, seed=5)
+    n = g.nrows
+    batch = 64
+    print(f"graph: n={n}, edges={g.nnz // 2}, batch={batch} sources\n")
+
+    # -- run BC with each complement-capable algorithm -----------------
+    results = {}
+    for algo in ("msa", "hash", "heap", "heapdot"):
+        res = betweenness_centrality(g, batch_size=batch, algo=algo, seed=9)
+        results[algo] = res
+        print(f"  {algo:8s} depth={res.depth}  "
+              f"spgemm={res.spgemm_seconds * 1e3:8.1f} ms  "
+              f"TEPS={res.teps / 1e6:7.2f} M")
+
+    base = results["msa"].centrality
+    for algo, res in results.items():
+        assert np.allclose(res.centrality, base), algo
+    print("\nall algorithms agree on the centrality vector")
+
+    top = np.argsort(base)[::-1][:5]
+    print("top-5 central vertices:",
+          [(int(v), round(float(base[v]), 1)) for v in top])
+
+    # -- the BFS building block (pure complement-mask traversal) -------
+    hubs = np.argsort(g.row_nnz())[::-1][:4]
+    bfs = multi_source_bfs(g, hubs.tolist())
+    reach = (bfs.levels >= 0).sum(axis=1)
+    print(f"\nBFS from the 4 highest-degree hubs: "
+          f"depth={bfs.depth}, reachable per source={reach.tolist()}")
+
+    # -- exact check against networkx (optional dependency) ------------
+    try:
+        import networkx as nx
+    except ImportError:
+        print("\n(networkx not installed; skipping the exact check)")
+        return
+    small = erdos_renyi_graph(150, 6, seed=2)
+    ours = betweenness_centrality(small, sources=range(150)).centrality / 2
+    ref = nx.betweenness_centrality(
+        nx.from_scipy_sparse_array(small.to_scipy()), normalized=False
+    )
+    err = max(abs(ours[v] - ref[v]) for v in range(150))
+    print(f"\nexact check vs networkx on a 150-vertex graph: max |err| = {err:.2e}")
+    assert err < 1e-8
+
+
+if __name__ == "__main__":
+    main()

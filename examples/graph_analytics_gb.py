@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Graph analytics through the GraphBLAS-style interface.
+
+The paper's benchmark harness plugs masked-SpGEMM algorithms behind the
+GraphBLAS API (Section 7).  This example shows that interface end-to-end:
+
+* `mxm` with masks, complements and pluggable algorithms,
+* triangle counting written as three GraphBLAS calls,
+* direction-optimized BFS (masked SpMV push-pull),
+* Markov clustering of a modular graph.
+
+Run:  python examples/graph_analytics_gb.py
+"""
+
+import numpy as np
+
+import repro.graphblas as gb
+from repro.apps import direction_optimized_bfs, markov_clustering
+from repro.graphs import block_diagonal_dense, rmat
+from repro.semiring import PLUS_PAIR
+
+
+def triangle_counting_gb() -> None:
+    g = rmat(10, seed=1)
+    print(f"=== triangle counting via gb.mxm (n={g.nrows}) ===")
+    a = gb.Matrix.from_csr(g)
+    low = gb.Matrix.from_csr(g.tril(-1))
+    for algo in ("msa", "mca", "inner", "hybrid"):
+        c = gb.mxm(low, low, mask=low, semiring=PLUS_PAIR,
+                   desc=gb.Descriptor(algo=algo))
+        print(f"  algo={algo:7s} triangles = {int(c.reduce_scalar())}")
+
+
+def masked_vs_unmasked() -> None:
+    g = rmat(9, seed=2)
+    a = gb.Matrix.from_csr(g)
+    low = gb.Matrix.from_csr(g.tril(-1))
+    full = gb.mxm(low, low)  # no mask: full product
+    masked = gb.mxm(low, low, mask=low)
+    print(f"\n=== the mask's effect ===\n"
+          f"  unmasked product: {full.nvals} entries\n"
+          f"  masked product:   {masked.nvals} entries "
+          f"({masked.nvals / max(1, full.nvals):.1%} kept)")
+
+
+def bfs_push_pull() -> None:
+    g = rmat(11, seed=3)
+    hub = int(np.argmax(g.row_nnz()))
+    res = direction_optimized_bfs(g, hub)
+    print(f"\n=== direction-optimized BFS from hub {hub} ===")
+    print(f"  levels used: {res.directions} (depth {res.depth})")
+    reached = int((res.levels >= 0).sum())
+    print(f"  reached {reached}/{g.nrows} vertices")
+
+
+def clustering() -> None:
+    g = block_diagonal_dense(5, 16, seed=4, fill=0.7)
+    res = markov_clustering(g)
+    sizes = sorted(len(c) for c in res.clusters)
+    print(f"\n=== Markov clustering (5 planted blocks of 16) ===")
+    print(f"  found {len(res.clusters)} clusters of sizes {sizes} "
+          f"in {res.iterations} iterations (converged={res.converged})")
+
+
+def main() -> None:
+    triangle_counting_gb()
+    masked_vs_unmasked()
+    bfs_push_pull()
+    clustering()
+
+
+if __name__ == "__main__":
+    main()

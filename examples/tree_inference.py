@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Masked SpGEMM for tree-based extreme multi-label inference.
+
+The paper's introduction cites Etter et al. (2021), who accelerate ranking
+trees with masked SpGEMM: during beam search over a probabilistic label
+tree, each level scores only the children of the surviving beam — a masked
+product whose mask is the beam frontier.
+
+This example builds a synthetic label tree (4096 labels), runs beam-search
+inference over a batch of sparse queries, and sweeps the beam width to show
+the flops/recall tradeoff the masking enables.
+
+Run:  python examples/tree_inference.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.apps import (
+    beam_search_inference,
+    exhaustive_inference,
+    random_label_tree,
+)
+from repro.graphs import erdos_renyi
+
+
+def main() -> None:
+    n_features = 5000
+    tree = random_label_tree(n_features, branching=8, depth=4,
+                             nnz_per_node=16, seed=1)
+    print(f"label tree: depth={tree.depth}, labels={tree.n_labels}, "
+          f"level sizes={[lvl.nrows for lvl in tree.levels]}")
+
+    batch = 64
+    x = erdos_renyi(batch, n_features, 30, seed=2)
+    print(f"queries: batch={batch}, ~30 features each\n")
+
+    t0 = time.perf_counter()
+    exact = exhaustive_inference(tree, x, top_k=5)
+    t_exact = time.perf_counter() - t0
+    print(f"exhaustive scoring: {exact.counter.flops:>9,} flops, "
+          f"{t_exact * 1e3:7.1f} ms")
+
+    print(f"\n{'beam':>5} {'flops':>10} {'saving':>7} {'recall@5':>9} {'ms':>8}")
+    for beam in (1, 2, 4, 8, 16):
+        t0 = time.perf_counter()
+        res = beam_search_inference(tree, x, beam_width=beam, top_k=5,
+                                    algo="mca")
+        dt = time.perf_counter() - t0
+        recall = float(np.isin(res.labels, exact.labels).mean())
+        saving = exact.counter.flops / max(1, res.masked_flops)
+        print(f"{beam:>5} {res.masked_flops:>10,} {saving:>6.1f}x "
+              f"{recall:>8.2%} {dt * 1e3:>8.1f}")
+
+    print("\nthe mask prices only beam-children, so flops grow with the "
+          "beam, not with the label count — the Etter et al. speedup "
+          "mechanism.  Recall climbs with beam width while staying far "
+          "below exhaustive cost (real PLTs route much better than this "
+          "random-feature tree).")
+
+
+if __name__ == "__main__":
+    main()

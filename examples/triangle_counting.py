@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Triangle Counting with masked SpGEMM (paper Section 8.2).
+
+Counts triangles on an R-MAT graph and on members of the real-world
+stand-in suite via ``sum(L .* (L @ L))``, comparing every algorithm's wall
+time and operation profile, and showing why the degree-sorted relabeling
+matters.
+
+Run:  python examples/triangle_counting.py
+"""
+
+import time
+
+from repro.apps import triangle_count_detail
+from repro.core import ALGOS
+from repro.graphs import load, rmat
+from repro.machine import total_flops
+
+
+def count_with_all_algorithms(name, graph):
+    print(f"\n=== {name}: n={graph.nrows}, edges={graph.nnz // 2} ===")
+    rows = []
+    expected = None
+    for algo in sorted(ALGOS):
+        res = triangle_count_detail(graph, algo=algo)
+        if expected is None:
+            expected = res.triangles
+        assert res.triangles == expected, (algo, res.triangles, expected)
+        rows.append((algo, res.spgemm_seconds))
+    rows.sort(key=lambda r: r[1])
+    print(f"triangles = {expected}")
+    for algo, secs in rows:
+        bar = "#" * max(1, int(40 * secs / rows[-1][1]))
+        print(f"  {algo:8s} {secs * 1e3:9.2f} ms  {bar}")
+
+
+def relabeling_effect(graph):
+    """Degree-sorted relabeling bounds the work of L @ L (paper [29])."""
+    low_plain = graph.pattern().tril(-1)
+    from repro.graphs import relabel_by_degree
+
+    low_sorted = relabel_by_degree(graph.pattern()).tril(-1)
+    print("\n=== effect of degree-sorted relabeling on L.*(L@L) work ===")
+    print(f"  flops without relabel: {total_flops(low_plain, low_plain):>12,}")
+    print(f"  flops with    relabel: {total_flops(low_sorted, low_sorted):>12,}")
+
+
+def main() -> None:
+    g = rmat(11, seed=7)
+    count_with_all_algorithms("R-MAT scale 11", g)
+    relabeling_effect(g)
+
+    for name in ("er-mid-s", "smallworld-s", "powerlaw-s"):
+        t0 = time.perf_counter()
+        count_with_all_algorithms(name, load(name))
+        print(f"  [{time.perf_counter() - t0:.1f}s total]")
+
+
+if __name__ == "__main__":
+    main()

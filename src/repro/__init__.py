@@ -1,0 +1,3 @@
+"""Reproduction of "Parallel Algorithms for Masked Sparse Matrix-Matrix
+Products" (ICPP 2022)."""
+__version__ = "1.0.0"

@@ -1,0 +1,59 @@
+"""Graph-analytics applications built on masked SpGEMM: the paper's three
+benchmarks (Triangle Counting, k-truss, Betweenness Centrality) plus BFS."""
+
+from .betweenness import BetweennessResult, betweenness_centrality
+from .bfs import BFSResult, multi_source_bfs
+from .connected_components import CCResult, connected_components
+from .direction_bfs import DirectionBFSResult, direction_optimized_bfs
+from .ktruss import KTrussResult, ktruss
+from .markov_clustering import MCLResult, markov_clustering
+from .sparse_dnn import (
+    DNNResult,
+    SparseDNN,
+    random_sparse_dnn,
+    sparse_dnn_forward,
+    sparse_dnn_forward_topk,
+)
+from .sssp import SSSPResult, sssp
+from .tree_inference import (
+    InferenceResult,
+    LabelTree,
+    beam_search_inference,
+    exhaustive_inference,
+    random_label_tree,
+)
+from .triangle_counting import (
+    TriangleCountResult,
+    triangle_count,
+    triangle_count_detail,
+)
+
+__all__ = [
+    "BetweennessResult",
+    "betweenness_centrality",
+    "BFSResult",
+    "multi_source_bfs",
+    "CCResult",
+    "connected_components",
+    "DirectionBFSResult",
+    "direction_optimized_bfs",
+    "KTrussResult",
+    "ktruss",
+    "MCLResult",
+    "markov_clustering",
+    "SSSPResult",
+    "sssp",
+    "DNNResult",
+    "SparseDNN",
+    "random_sparse_dnn",
+    "sparse_dnn_forward",
+    "sparse_dnn_forward_topk",
+    "InferenceResult",
+    "LabelTree",
+    "beam_search_inference",
+    "exhaustive_inference",
+    "random_label_tree",
+    "TriangleCountResult",
+    "triangle_count",
+    "triangle_count_detail",
+]

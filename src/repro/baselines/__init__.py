@@ -1,0 +1,12 @@
+"""Baselines: SS:GB algorithmic stand-ins and the scipy ground-truth oracle."""
+
+from .scipy_ref import scipy_masked_spgemm, scipy_spgemm
+from .ssgb import SSGB_ALGOS, ssgb_dot, ssgb_saxpy
+
+__all__ = [
+    "scipy_masked_spgemm",
+    "scipy_spgemm",
+    "SSGB_ALGOS",
+    "ssgb_dot",
+    "ssgb_saxpy",
+]

@@ -1,0 +1,44 @@
+"""Ground-truth oracle via scipy.sparse.
+
+Used by tests and benches to validate every kernel: computes the masked
+product the obvious way (full SpGEMM, then masking).  Only valid on the
+arithmetic (PLUS_TIMES) semiring — scipy has no semiring support — so the
+tests cross-check other semirings between the reference and fast tiers
+instead.
+"""
+
+from __future__ import annotations
+
+from ..sparse import CSR
+
+__all__ = ["scipy_masked_spgemm", "scipy_spgemm"]
+
+
+def scipy_spgemm(a: CSR, b: CSR) -> CSR:
+    """Plain ``A @ B`` through scipy (arithmetic semiring)."""
+    return CSR.from_scipy((a.to_scipy() @ b.to_scipy()).tocsr())
+
+
+def scipy_masked_spgemm(a: CSR, b: CSR, mask: CSR, *, complement: bool = False) -> CSR:
+    """``M .* (A @ B)`` (or ``!M``) through scipy, with explicit zeros of
+    the product dropped (scipy's convention)."""
+    c = (a.to_scipy() @ b.to_scipy()).tocsr()
+    c.eliminate_zeros()
+    m = mask.to_scipy().tocsr()
+    m.data[:] = 1.0
+    if complement:
+        # keep entries of c not present in m
+        inter = c.multiply(m)  # entries of c at masked positions
+        keep = c - inter
+        keep = keep.tocsr()
+        # subtraction may leave explicit zeros where values coincide; use
+        # pattern arithmetic instead for robustness:
+        c_pat = c.copy()
+        c_pat.data[:] = 1.0
+        keep_pat = c_pat - c_pat.multiply(m)
+        keep_pat.eliminate_zeros()
+        out = c.multiply(keep_pat)
+        out = out.tocsr()
+        return CSR.from_scipy(out)
+    out = c.multiply(m).tocsr()
+    return CSR.from_scipy(out)

@@ -1,0 +1,91 @@
+"""Dolan–Moré performance profiles [20].
+
+The paper's Figures 8, 9, 12, 13 and 16 are performance profiles: for each
+scheme ``s`` and each test case ``c`` with runtime ``t(s, c)``, the profile
+is the fraction of cases in which the scheme is within a factor ``tau`` of
+the best scheme on that case::
+
+    rho_s(tau) = |{ c : t(s,c) <= tau * min_s' t(s',c) }| / |cases|
+
+"A point (x, y) indicates that the scheme ... is within x factor of the
+best obtained result in y fraction of the test cases.  The closer a
+scheme's line is to the y axis, the better" (paper Section 8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["PerformanceProfile", "performance_profile"]
+
+
+@dataclass
+class PerformanceProfile:
+    """Computed profile curves for a set of schemes over shared cases."""
+
+    schemes: List[str]
+    cases: List[str]
+    ratios: np.ndarray  #: shape (n_schemes, n_cases): t(s,c)/best(c)
+    taus: np.ndarray  #: evaluation grid
+
+    def rho(self, scheme: str) -> np.ndarray:
+        """The profile curve rho_s(tau) on the tau grid."""
+        i = self.schemes.index(scheme)
+        r = self.ratios[i]
+        valid = np.isfinite(r)
+        return np.array(
+            [np.count_nonzero(r[valid] <= t) / max(1, len(self.cases)) for t in self.taus]
+        )
+
+    def fraction_best(self, scheme: str, tol: float = 1.0 + 1e-9) -> float:
+        """rho_s(1): the fraction of cases where the scheme is (tied-)best —
+        the paper's "outperforms all other algorithms for X% of cases"."""
+        i = self.schemes.index(scheme)
+        r = self.ratios[i]
+        return float(np.count_nonzero(r[np.isfinite(r)] <= tol) / max(1, len(self.cases)))
+
+    def area(self, scheme: str) -> float:
+        """Area under the profile curve — a scalar ranking criterion
+        (higher = better overall)."""
+        return float(
+            np.trapezoid(self.rho(scheme), self.taus)
+            / (self.taus[-1] - self.taus[0])
+        )
+
+    def ranking(self) -> List[str]:
+        """Schemes ordered best-first by profile area."""
+        return sorted(self.schemes, key=lambda s: -self.area(s))
+
+
+def performance_profile(
+    times: Mapping[str, Mapping[str, float]],
+    *,
+    taus: Optional[Sequence[float]] = None,
+    tau_max: float = 8.0,
+) -> PerformanceProfile:
+    """Build a profile from ``times[scheme][case] = runtime``.
+
+    Every scheme must report every case (use ``float('inf')`` for a scheme
+    that failed a case — standard Dolan–Moré treatment).
+    """
+    schemes = sorted(times.keys())
+    cases = sorted({c for s in schemes for c in times[s].keys()})
+    t = np.full((len(schemes), len(cases)), np.inf)
+    for i, s in enumerate(schemes):
+        for j, c in enumerate(cases):
+            if c in times[s]:
+                t[i, j] = times[s][c]
+    best = np.min(t, axis=0)
+    if np.any(~np.isfinite(best)):
+        raise ValueError("some case has no finite runtime for any scheme")
+    if np.any(best <= 0):
+        raise ValueError("runtimes must be positive")
+    ratios = t / best
+    if taus is None:
+        taus = np.geomspace(1.0, tau_max, 64)
+    return PerformanceProfile(
+        schemes=schemes, cases=cases, ratios=ratios, taus=np.asarray(taus, dtype=float)
+    )

@@ -1,0 +1,27 @@
+"""The four masked accumulators of the paper (Section 5) plus their
+complemented-mask variants."""
+
+from .base import ALLOWED, NOTALLOWED, SET, MaskedAccumulator, resolve_value
+from .hash import HashAccumulator, HashComplement, LOAD_FACTOR, table_capacity
+from .heap import MaskIterator, RowIterator, heap_insert, heap_pop
+from .mca import MCA
+from .msa import MSA, MSAComplement
+
+__all__ = [
+    "ALLOWED",
+    "NOTALLOWED",
+    "SET",
+    "MaskedAccumulator",
+    "resolve_value",
+    "HashAccumulator",
+    "HashComplement",
+    "LOAD_FACTOR",
+    "table_capacity",
+    "MaskIterator",
+    "RowIterator",
+    "heap_insert",
+    "heap_pop",
+    "MCA",
+    "MSA",
+    "MSAComplement",
+]

@@ -1,0 +1,85 @@
+"""The masked accumulator interface (paper Section 5.1).
+
+An accumulator merges the scaled rows of ``B`` into one output row while
+discarding (ideally: never computing) values the mask forbids.  Unlike the
+plain Sparse Accumulator of Gilbert et al., a *masked* accumulator
+distinguishes three states per key::
+
+    NOTALLOWED --setAllowed()--> ALLOWED --insert()--> SET
+
+The interface has exactly the three procedures of the paper:
+
+* ``set_allowed(key)`` — mark a key as permitted by the mask.
+* ``insert(key, value)`` — add a product to the key's accumulated value;
+  ``value`` may be a zero-argument callable ("lambda" in the paper) which is
+  only evaluated if the value will not be discarded, so masked-out products
+  cost no multiplication.
+* ``remove(key)`` — return the accumulated value (or ``None`` if the key was
+  never SET) and clear the key back to its default state.
+
+Complemented-mask accumulators flip the default state to ALLOWED and expose
+``set_not_allowed`` instead (paper Section 5.2, last paragraph).
+
+Every implementation is instrumented with an :class:`repro.machine.OpCounter`
+so the reference kernels can report the operation profile the cost model and
+the benches consume.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional, Union
+
+from ...machine import OpCounter
+
+__all__ = ["NOTALLOWED", "ALLOWED", "SET", "MaskedAccumulator", "resolve_value"]
+
+NOTALLOWED = 0
+ALLOWED = 1
+SET = 2
+
+ValueLike = Union[float, Callable[[], float]]
+
+
+def resolve_value(value: ValueLike) -> float:
+    """Evaluate a lazily-supplied value (paper: the INSERT lambda)."""
+    return value() if callable(value) else value
+
+
+class MaskedAccumulator(abc.ABC):
+    """Abstract masked accumulator.
+
+    Concrete accumulators are *reused across rows*: ``reset`` restores the
+    default state cheaply (MSA keeps a list of dirtied cells so reuse is
+    O(cells touched), not O(n)).
+    """
+
+    #: whether this accumulator implements the complemented-mask protocol
+    supports_complement: bool = False
+
+    def __init__(self, add, add_identity: float = 0.0, counter: Optional[OpCounter] = None):
+        self.add = add
+        self.add_identity = add_identity
+        self.counter = counter if counter is not None else OpCounter()
+
+    @abc.abstractmethod
+    def set_allowed(self, key: int) -> None:
+        """Mark ``key`` as permitted by the mask (NOTALLOWED -> ALLOWED)."""
+
+    @abc.abstractmethod
+    def insert(self, key: int, value: ValueLike) -> None:
+        """Accumulate ``value`` at ``key`` if the key is ALLOWED or SET."""
+
+    @abc.abstractmethod
+    def remove(self, key: int) -> Optional[float]:
+        """Pop the accumulated value at ``key``; ``None`` if never SET."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Restore the default state for reuse on the next row."""
+
+    def set_not_allowed(self, key: int) -> None:
+        """Complement-mode marking; only valid on complement accumulators."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support complemented masks"
+        )

@@ -1,0 +1,92 @@
+"""Memory-bounded (out-of-core style) masked SpGEMM.
+
+For problems whose product expansion or mask does not fit in memory, the
+multiplication can proceed over **column panels**: partition the output
+columns into panels, restrict ``B`` and the mask to one panel at a time,
+multiply, and concatenate — output columns are disjoint across panels, so
+the merge is free.  The mask makes the panelling particularly effective:
+a panel whose mask slice is empty is skipped without touching ``B``.
+
+This complements the row blocking inside the fast kernels (which bounds
+the *expansion*, not the mask/accumulator footprint).  Peak footprint per
+panel is ~``nnz(B_panel) + nnz(M_panel) + panel_output``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..machine import OpCounter
+from ..semiring import PLUS_TIMES, Semiring
+from ..sparse import CSR
+from .masked_spgemm import masked_spgemm
+
+__all__ = ["masked_spgemm_chunked", "column_panels", "restrict_columns"]
+
+
+def restrict_columns(mat: CSR, lo: int, hi: int) -> CSR:
+    """Columns ``[lo, hi)`` of ``mat`` as a narrow CSR of width ``hi-lo``."""
+    rows, cols, vals = mat.sort_indices().to_coo()
+    keep = (cols >= lo) & (cols < hi)
+    return CSR.from_coo(
+        (mat.nrows, hi - lo), rows[keep], cols[keep] - lo, vals[keep]
+    )
+
+
+def column_panels(ncols: int, panel_width: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(lo, hi)`` panel bounds."""
+    if panel_width <= 0:
+        raise ValueError("panel_width must be positive")
+    for lo in range(0, ncols, panel_width):
+        yield lo, min(ncols, lo + panel_width)
+
+
+def masked_spgemm_chunked(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    panel_width: int = 4096,
+    algo: str = "msa",
+    complement: bool = False,
+    semiring: Semiring = PLUS_TIMES,
+    counter: Optional[OpCounter] = None,
+) -> CSR:
+    """``M .* (A @ B)`` computed one output-column panel at a time.
+
+    Equivalent to :func:`repro.core.masked_spgemm` (tested to be), with
+    peak memory bounded by the panel instead of the whole problem.  Panels
+    whose mask slice is empty are skipped entirely (plain mask) — with a
+    complemented mask no panel can be skipped (the complement is dense
+    there), so the panelling only bounds memory.
+    """
+    if a.ncols != b.nrows:
+        raise ValueError("inner dimensions of A and B do not agree")
+    if mask.shape != (a.nrows, b.ncols):
+        raise ValueError("mask shape must match the output shape")
+    out_rows = []
+    out_cols = []
+    out_vals = []
+    for lo, hi in column_panels(b.ncols, panel_width):
+        m_panel = restrict_columns(mask, lo, hi)
+        if m_panel.nnz == 0 and not complement:
+            continue  # the mask proves this panel is empty
+        b_panel = restrict_columns(b, lo, hi)
+        c_panel = masked_spgemm(
+            a, b_panel, m_panel, algo=algo, complement=complement,
+            semiring=semiring, counter=counter,
+        )
+        r, c, v = c_panel.to_coo()
+        out_rows.append(r)
+        out_cols.append(c + lo)
+        out_vals.append(v)
+    if not out_rows:
+        return CSR.empty((a.nrows, b.ncols))
+    return CSR.from_coo(
+        (a.nrows, b.ncols),
+        np.concatenate(out_rows),
+        np.concatenate(out_cols),
+        np.concatenate(out_vals),
+    )

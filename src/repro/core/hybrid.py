@@ -1,0 +1,95 @@
+"""Hybrid masked SpGEMM — the paper's stated future work (Section 9):
+
+    "we will investigate hybrid algorithms that can use different
+     accumulators in the same Masked SpGEMM depending on the density of the
+     mask and parts of matrices being processed."
+
+This module implements that idea as a *row-banded* dispatcher: every output
+row is classified by the per-row density regime identified in Figure 7 /
+Section 4.3, and each class of rows is executed with the algorithm that
+regime favours:
+
+* ``nnz(m_i) << flops_i``  (mask much sparser than the work) -> **inner**,
+* ``flops_i << nnz(m_i)``  (inputs much sparser than the mask) -> **mca**
+  (compact accumulator; heap is reference-only and never faster here),
+* otherwise -> **msa** when the dense accumulator fits the private cache
+  for the given machine, else **hash**.
+
+The classification thresholds are exposed so the ablation bench can sweep
+them.  Rows of each class are extracted with ``select_rows`` (other rows
+emptied), run through the corresponding fast kernel, and the partial
+results are summed — patterns are disjoint by construction, so ``ewise_add``
+is a pure merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..machine import HASWELL, MachineConfig, OpCounter, flops_per_row
+from ..semiring import PLUS_TIMES, Semiring
+from ..sparse import CSR, ewise_add
+from .masked_spgemm import masked_spgemm
+
+__all__ = ["masked_spgemm_hybrid", "classify_rows"]
+
+
+def classify_rows(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    machine: MachineConfig = HASWELL,
+    *,
+    pull_ratio: float = 8.0,
+    push_ratio: float = 8.0,
+) -> Dict[str, np.ndarray]:
+    """Partition row indices into algorithm classes.
+
+    ``pull_ratio``: choose inner when ``flops_i > pull_ratio * nnz(m_i)``.
+    ``push_ratio``: choose mca when ``nnz(m_i) > push_ratio * flops_i``.
+    """
+    fl = flops_per_row(a, b).astype(np.float64)
+    mn = mask.row_nnz().astype(np.float64)
+    rows = np.arange(a.nrows)
+    inner_rows = fl > pull_ratio * np.maximum(mn, 1.0)
+    mca_rows = (~inner_rows) & (mn > push_ratio * np.maximum(fl, 1.0))
+    rest = ~(inner_rows | mca_rows)
+    msa_fits = 2 * b.ncols * 8 <= machine.private_cache_bytes
+    out: Dict[str, np.ndarray] = {}
+    out["inner"] = rows[inner_rows]
+    out["mca"] = rows[mca_rows]
+    out["msa" if msa_fits else "hash"] = rows[rest]
+    return {k: v for k, v in out.items() if v.size}
+
+
+def masked_spgemm_hybrid(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    machine: MachineConfig = HASWELL,
+    semiring: Semiring = PLUS_TIMES,
+    counter: Optional[OpCounter] = None,
+    pull_ratio: float = 8.0,
+    push_ratio: float = 8.0,
+) -> CSR:
+    """Masked SpGEMM with a per-row algorithm choice (see module docs)."""
+    classes = classify_rows(
+        a, b, mask, machine, pull_ratio=pull_ratio, push_ratio=push_ratio
+    )
+    result: Optional[CSR] = None
+    for algo, rows in classes.items():
+        part = masked_spgemm(
+            a.select_rows(rows),
+            b,
+            mask.select_rows(rows),
+            algo=algo,
+            semiring=semiring,
+            counter=counter,
+        )
+        result = part if result is None else ewise_add(result, part, op=semiring.add_ufunc)
+    if result is None:
+        result = CSR.empty((a.nrows, b.ncols))
+    return result

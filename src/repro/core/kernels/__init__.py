@@ -1,0 +1,24 @@
+"""Vectorized NumPy fast paths for the paper's algorithms."""
+
+from .esc_kernel import masked_spgemm_esc_fast
+from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks, row_keys
+from .hash_kernel import VectorHashTable, masked_spgemm_hash_fast
+from .inner_kernel import masked_spgemm_inner_fast
+from .mca_kernel import masked_spgemm_mca_fast
+from .msa_kernel import masked_spgemm_msa_fast
+from .saxpy_kernel import masked_spgemm_multiply_then_mask, spgemm_saxpy_fast
+
+__all__ = [
+    "DEFAULT_FLOP_BUDGET",
+    "expand_products",
+    "iter_row_blocks",
+    "row_keys",
+    "masked_spgemm_esc_fast",
+    "VectorHashTable",
+    "masked_spgemm_hash_fast",
+    "masked_spgemm_inner_fast",
+    "masked_spgemm_mca_fast",
+    "masked_spgemm_msa_fast",
+    "masked_spgemm_multiply_then_mask",
+    "spgemm_saxpy_fast",
+]

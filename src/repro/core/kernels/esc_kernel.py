@@ -1,0 +1,101 @@
+"""Masked ESC (Expand-Sort-Compress) kernel — an extension algorithm.
+
+ESC is the GPU-style SpGEMM family of Liu & Vinter (the paper's ref [28])
+and Bell/Dalton's cusp: *expand* all scalar products, *sort* them by output
+coordinate, *compress* equal keys with the semiring add.  It needs no
+random-access accumulator at all — its "accumulator" is the sort — which
+makes it attractive where scatter is expensive (GPUs, SIMD) and expensive
+where flops(AB) is large (the sort touches every product, masked or not).
+
+This reproduction adds a **masked** ESC variant (not part of the paper's
+14 schemes; clearly an extension, see DESIGN.md §7): the mask is applied
+*between expand and sort*, by a batched membership test of product keys
+against the sorted mask keys, so the sort only sees surviving products.
+The masked filter converts ESC's cost from
+``O(flops·log(flops))`` to ``O(flops + useful·log(useful))`` — the same
+work-saving the accumulator schemes get, obtained with sorting machinery.
+
+Complement support is natural (flip the membership test).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...machine import OpCounter
+from ...semiring import PLUS_TIMES, Semiring
+from ...sparse import CSR
+from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks, row_keys
+
+__all__ = ["masked_spgemm_esc_fast"]
+
+
+def masked_spgemm_esc_fast(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    complement: bool = False,
+    semiring: Semiring = PLUS_TIMES,
+    counter: Optional[OpCounter] = None,
+    flop_budget: int = DEFAULT_FLOP_BUDGET,
+) -> CSR:
+    """Vectorized masked Expand-Sort-Compress (see module docs)."""
+    a = a.sort_indices()
+    b = b.sort_indices()
+    mask = mask.sort_indices()
+    n = b.ncols
+    m_rows_all = np.repeat(np.arange(mask.nrows, dtype=np.int64), mask.row_nnz())
+    m_keys = row_keys(m_rows_all, mask.indices, n)
+
+    out_rows = []
+    out_cols = []
+    out_vals = []
+    for lo, hi in iter_row_blocks(a, b, flop_budget):
+        prod_rows, prod_cols, prod_vals = expand_products(a, b, lo, hi, semiring)
+        if prod_rows.shape[0] == 0:
+            continue
+        p_keys = row_keys(prod_rows, prod_cols, n)
+        if counter is not None:
+            counter.accum_inserts += int(p_keys.shape[0])
+        # --- mask filter (between expand and sort) ---
+        if m_keys.shape[0]:
+            pos = np.searchsorted(m_keys, p_keys)
+            pos_c = np.minimum(pos, m_keys.shape[0] - 1)
+            inside = m_keys[pos_c] == p_keys
+        else:
+            inside = np.zeros(p_keys.shape[0], dtype=bool)
+        keep = ~inside if complement else inside
+        p_keys = p_keys[keep]
+        vals = prod_vals[keep]
+        if counter is not None:
+            counter.flops += int(p_keys.shape[0])
+        if p_keys.shape[0] == 0:
+            continue
+        # --- sort ---
+        order = np.argsort(p_keys, kind="stable")
+        p_keys = p_keys[order]
+        vals = vals[order]
+        # --- compress (segmented semiring reduction) ---
+        boundary = np.empty(p_keys.shape[0], dtype=bool)
+        boundary[0] = True
+        boundary[1:] = p_keys[1:] != p_keys[:-1]
+        starts = np.flatnonzero(boundary)
+        red = semiring.add_ufunc.reduceat(vals, starts)
+        heads = p_keys[starts]
+        out_rows.append(heads // n)
+        out_cols.append(heads % n)
+        out_vals.append(np.asarray(red, dtype=np.float64))
+
+    if out_rows:
+        rows = np.concatenate(out_rows)
+        cols = np.concatenate(out_cols)
+        vals = np.concatenate(out_vals)
+    else:
+        rows = cols = np.empty(0, dtype=np.int64)
+        vals = np.empty(0, dtype=np.float64)
+    if counter is not None:
+        counter.output_nnz += int(rows.shape[0])
+    return CSR.from_coo((a.nrows, n), rows, cols, vals)

@@ -1,0 +1,96 @@
+"""Shared machinery for the vectorized (fast) kernels.
+
+The push-based fast kernels all start from the same *product expansion*: the
+multiset of scalar products ``{A[i,k] * B[k,j]}`` written as flat arrays
+``(prod_rows, prod_cols, prod_vals)`` of length ``flops(A B)`` (paper
+notation).  Building it is pure NumPy gather/repeat — no Python-level loop
+over nonzeros — and corresponds exactly to memory-access patterns 1-3 of
+Section 4.2 (read A, fetch B row extents, stanza-read B rows).
+
+Because the expansion materialises ``flops(AB)`` words, kernels process the
+output rows in *row blocks* chosen so each block expands to at most
+``flop_budget`` products; this mirrors how a real implementation tiles for
+cache and keeps peak memory bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ...semiring import Semiring
+from ...sparse import CSR
+
+__all__ = ["expand_products", "iter_row_blocks", "row_keys", "DEFAULT_FLOP_BUDGET"]
+
+DEFAULT_FLOP_BUDGET = 1 << 22  # ~4M products per block
+
+
+def expand_products(
+    a: CSR,
+    b: CSR,
+    row_lo: int,
+    row_hi: int,
+    semiring: Semiring,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand all products of output rows ``[row_lo, row_hi)``.
+
+    Returns ``(prod_rows, prod_cols, prod_vals)`` where ``prod_rows`` is the
+    output row of each product, ``prod_cols`` the output column, and
+    ``prod_vals`` the semiring product ``mult(A_ik, B_kj)``.  Products appear
+    grouped by output row, then by the order of A's nonzeros — the same
+    order the reference push kernels generate them in.
+    """
+    lo, hi = int(a.indptr[row_lo]), int(a.indptr[row_hi])
+    a_cols = a.indices[lo:hi]
+    a_vals = a.data[lo:hi]
+    a_rows = np.repeat(
+        np.arange(row_lo, row_hi, dtype=np.int64),
+        np.diff(a.indptr[row_lo : row_hi + 1]),
+    )
+    starts = b.indptr[a_cols]
+    counts = b.indptr[a_cols + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy(), np.empty(0, dtype=np.float64)
+    # flat positions into B.indices/B.data for every product
+    block_ofs = np.repeat(np.cumsum(counts) - counts, counts)
+    pos = np.arange(total, dtype=np.int64) - block_ofs + np.repeat(starts, counts)
+    prod_cols = b.indices[pos]
+    prod_vals = semiring.mult_ufunc(np.repeat(a_vals, counts), b.data[pos])
+    prod_rows = np.repeat(a_rows, counts)
+    return prod_rows, prod_cols, np.asarray(prod_vals, dtype=np.float64)
+
+
+def iter_row_blocks(
+    a: CSR, b: CSR, flop_budget: int = DEFAULT_FLOP_BUDGET
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(row_lo, row_hi)`` blocks whose expansion stays within the
+    flop budget (single rows may exceed it; they get a block of their own)."""
+    b_nnz = b.row_nnz()
+    if a.nnz:
+        per_row = np.zeros(a.nrows, dtype=np.int64)
+        np.add.at(
+            per_row,
+            np.repeat(np.arange(a.nrows), a.row_nnz()),
+            b_nnz[a.indices],
+        )
+    else:
+        per_row = np.zeros(a.nrows, dtype=np.int64)
+    lo = 0
+    acc = 0
+    for i in range(a.nrows):
+        if acc and acc + per_row[i] > flop_budget:
+            yield lo, i
+            lo = i
+            acc = 0
+        acc += int(per_row[i])
+    if lo < a.nrows:
+        yield lo, a.nrows
+
+
+def row_keys(rows: np.ndarray, cols: np.ndarray, ncols: int) -> np.ndarray:
+    """Combine (row, col) into a single sortable int64 key."""
+    return rows * np.int64(ncols) + cols

@@ -1,0 +1,195 @@
+"""Vectorized Hash kernel.
+
+The fast counterpart of the Section-5.3 algorithm: a single open-addressing
+hash table (linear probing, power-of-two capacity, load factor <= 0.25,
+multiplicative hashing) keyed by the flat output position
+``row * ncols + col``.  All three interface steps are executed as *batched*
+probe rounds:
+
+1. ``set_allowed`` — batch-insert the mask keys (builds the key set; a key
+   that collides probes to the next slot, resolved round by round),
+2. ``insert`` — batch-lookup every product key; products whose key is absent
+   from the table are masked out and skipped *before* any multiply-add, the
+   rest accumulate into the table's value slots via ``add_ufunc.at``,
+3. ``remove`` — lookup the mask keys again and emit the SET ones in mask
+   order (sorted output, like the reference).
+
+Each probe round advances only the still-colliding lanes, so the number of
+rounds equals the longest probe chain — the vector analogue of linear
+probing.  Probe counts are recorded in the counter like the scalar version.
+
+For complemented masks the membership test flips: mask keys are inserted as
+"forbidden" and products found in the table are dropped; surviving products
+are then sort-reduced (they have no compact table to live in, matching the
+scalar HashComplement whose table is sized by the row-output bound).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...machine import OpCounter
+from ...semiring import PLUS_TIMES, Semiring
+from ...sparse import CSR
+from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks, row_keys
+
+__all__ = ["masked_spgemm_hash_fast", "VectorHashTable"]
+
+_HASH_SCAL = np.int64(0x9E3779B1)
+_EMPTY = np.int64(-1)
+
+
+class VectorHashTable:
+    """Batched open-addressing hash set/map over int64 keys."""
+
+    def __init__(self, max_keys: int, counter: Optional[OpCounter] = None):
+        need = max(4, int(max_keys) * 4)  # load factor 0.25
+        cap = 1 << (need - 1).bit_length()
+        self.cap = cap
+        self.mask = np.int64(cap - 1)
+        self.keys = np.full(cap, _EMPTY, dtype=np.int64)
+        self.counter = counter
+
+    def _hash(self, keys: np.ndarray) -> np.ndarray:
+        return (keys * _HASH_SCAL) & self.mask
+
+    def insert(self, keys: np.ndarray) -> np.ndarray:
+        """Insert unique ``keys``; returns the slot of each key.  Batched
+        linear probing: every round scatters the pending keys into their
+        current slot and keeps the lanes that lost the race or collided."""
+        slots = np.empty(keys.shape[0], dtype=np.int64)
+        pend = np.arange(keys.shape[0], dtype=np.int64)
+        pos = self._hash(keys)
+        while pend.shape[0]:
+            if self.counter is not None:
+                self.counter.hash_probes += int(pend.shape[0])
+            p = pos[pend]
+            occupant = self.keys[p]
+            free = occupant == _EMPTY
+            # try to claim free slots; ties between equal positions resolved
+            # by the last writer, then verified by re-reading
+            claim = pend[free]
+            self.keys[p[free]] = keys[claim]
+            won = self.keys[p] == keys[pend]
+            slots[pend[won]] = p[won]
+            pend = pend[~won]
+            pos[pend] = (pos[pend] + 1) & self.mask
+        return slots
+
+    def lookup(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(found, slot)`` for each key (slot valid where found)."""
+        found = np.zeros(keys.shape[0], dtype=bool)
+        slots = np.full(keys.shape[0], -1, dtype=np.int64)
+        pend = np.arange(keys.shape[0], dtype=np.int64)
+        pos = self._hash(keys)
+        while pend.shape[0]:
+            if self.counter is not None:
+                self.counter.hash_probes += int(pend.shape[0])
+            p = pos[pend]
+            occupant = self.keys[p]
+            hit = occupant == keys[pend]
+            miss = occupant == _EMPTY
+            slots[pend[hit]] = p[hit]
+            found[pend[hit]] = True
+            cont = ~(hit | miss)
+            pend = pend[cont]
+            pos[pend] = (pos[pend] + 1) & self.mask
+        return found, slots
+
+
+def _sort_reduce(keys, vals, semiring):
+    """Group-by-key reduction with the semiring's add (sorted output)."""
+    if keys.shape[0] == 0:
+        return keys, vals
+    order = np.argsort(keys, kind="stable")
+    keys, vals = keys[order], vals[order]
+    boundary = np.empty(keys.shape[0], dtype=bool)
+    boundary[0] = True
+    boundary[1:] = keys[1:] != keys[:-1]
+    starts = np.flatnonzero(boundary)
+    red = semiring.add_ufunc.reduceat(vals, starts)
+    return keys[starts], np.asarray(red, dtype=np.float64)
+
+
+def masked_spgemm_hash_fast(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    complement: bool = False,
+    semiring: Semiring = PLUS_TIMES,
+    counter: Optional[OpCounter] = None,
+    flop_budget: int = DEFAULT_FLOP_BUDGET,
+) -> CSR:
+    """Vectorized Hash masked SpGEMM (see module docs)."""
+    a = a.sort_indices()
+    b = b.sort_indices()
+    mask = mask.sort_indices()
+    n = b.ncols
+    ident = semiring.add_identity
+    add_at = semiring.add_ufunc.at
+
+    out_rows = []
+    out_cols = []
+    out_vals = []
+
+    for lo, hi in iter_row_blocks(a, b, flop_budget):
+        mlo, mhi = int(mask.indptr[lo]), int(mask.indptr[hi])
+        m_rows = np.repeat(
+            np.arange(lo, hi, dtype=np.int64), np.diff(mask.indptr[lo : hi + 1])
+        )
+        m_cols = mask.indices[mlo:mhi]
+        m_keys = row_keys(m_rows, m_cols, n)
+        prod_rows, prod_cols, prod_vals = expand_products(a, b, lo, hi, semiring)
+        p_keys = row_keys(prod_rows, prod_cols, n)
+        if counter is not None:
+            counter.accum_allowed += int(m_keys.shape[0])
+            counter.accum_inserts += int(p_keys.shape[0])
+
+        if m_keys.shape[0] == 0 and not complement:
+            continue
+        table = VectorHashTable(max(1, m_keys.shape[0]), counter)
+        m_slots = table.insert(m_keys) if m_keys.shape[0] else np.empty(0, np.int64)
+
+        if complement:
+            found, _ = table.lookup(p_keys) if p_keys.shape[0] else (
+                np.empty(0, bool),
+                None,
+            )
+            keep = ~found
+            keys, vals = _sort_reduce(p_keys[keep], prod_vals[keep], semiring)
+            if counter is not None:
+                counter.flops += int(keep.sum())
+                counter.accum_removes += int(keys.shape[0])
+            out_rows.append(keys // n)
+            out_cols.append(keys % n)
+            out_vals.append(vals)
+        else:
+            vals_tab = np.full(table.cap, ident, dtype=np.float64)
+            set_tab = np.zeros(table.cap, dtype=bool)
+            if p_keys.shape[0]:
+                found, slots = table.lookup(p_keys)
+                kept = slots[found]
+                add_at(vals_tab, kept, prod_vals[found])
+                set_tab[kept] = True
+                if counter is not None:
+                    counter.flops += int(found.sum())
+            emit = set_tab[m_slots]
+            if counter is not None:
+                counter.accum_removes += int(m_slots.shape[0])
+            out_rows.append(m_rows[emit])
+            out_cols.append(m_cols[emit])
+            out_vals.append(vals_tab[m_slots[emit]])
+
+    if out_rows:
+        rows = np.concatenate(out_rows)
+        cols = np.concatenate(out_cols)
+        vals = np.concatenate(out_vals)
+    else:
+        rows = cols = np.empty(0, dtype=np.int64)
+        vals = np.empty(0, dtype=np.float64)
+    if counter is not None:
+        counter.output_nnz += int(rows.shape[0])
+    return CSR.from_coo((a.nrows, n), rows, cols, vals)

@@ -1,0 +1,9 @@
+"""GraphBLAS-flavoured interface: Matrix/Vector objects, descriptors and the
+mxm / vxm / mxv operations that dispatch to the paper's masked SpGEMM and
+masked SpMV kernels (Section 7's "implemented within the GraphBLAS
+specifications")."""
+
+from .objects import Descriptor, Matrix, Vector
+from .operations import DEFAULT_DESC, mxm, mxv, vxm
+
+__all__ = ["Descriptor", "Matrix", "Vector", "DEFAULT_DESC", "mxm", "mxv", "vxm"]

@@ -1,0 +1,129 @@
+"""Additional synthetic graph families for the real-world stand-in suite.
+
+The SuiteSparse collection matrices the paper benchmarks span several
+structural regimes: low-degree planar road networks, regular 2D/3D meshes,
+heavy-tailed web/social graphs, small-world graphs and near-bipartite
+matrices.  These generators provide deterministic members of each family so
+that the 26-graph suite (:mod:`repro.graphs.suite`) exercises the same
+density/structure axes that drive the paper's performance crossovers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSR
+
+__all__ = [
+    "grid2d",
+    "grid3d",
+    "path_like_road",
+    "small_world",
+    "power_law",
+    "block_diagonal_dense",
+    "bipartite_like",
+]
+
+
+def _symmetrize(n: int, rows: np.ndarray, cols: np.ndarray) -> CSR:
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    r = np.concatenate([rows, cols])
+    c = np.concatenate([cols, rows])
+    return CSR.from_coo((n, n), r, c, np.ones(r.shape[0])).pattern()
+
+
+def grid2d(side: int, *, diagonal: bool = False) -> CSR:
+    """4-connected (8-connected with ``diagonal``) 2D grid graph."""
+    n = side * side
+    idx = np.arange(n, dtype=np.int64)
+    x, y = idx % side, idx // side
+    rows, cols = [], []
+    shifts = [(1, 0), (0, 1)]
+    if diagonal:
+        shifts += [(1, 1), (1, -1)]
+    for dx, dy in shifts:
+        ok = (x + dx >= 0) & (x + dx < side) & (y + dy >= 0) & (y + dy < side)
+        rows.append(idx[ok])
+        cols.append((x + dx)[ok] + (y + dy)[ok] * side)
+    return _symmetrize(n, np.concatenate(rows), np.concatenate(cols))
+
+
+def grid3d(side: int) -> CSR:
+    """6-connected 3D mesh."""
+    n = side**3
+    idx = np.arange(n, dtype=np.int64)
+    x = idx % side
+    y = (idx // side) % side
+    z = idx // (side * side)
+    rows, cols = [], []
+    for dx, dy, dz in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
+        ok = (x + dx < side) & (y + dy < side) & (z + dz < side)
+        rows.append(idx[ok])
+        cols.append((x + dx)[ok] + (y + dy)[ok] * side + (z + dz)[ok] * side * side)
+    return _symmetrize(n, np.concatenate(rows), np.concatenate(cols))
+
+
+def path_like_road(n: int, *, extra_every: int = 37, seed: int = 0) -> CSR:
+    """Road-network-like graph: a long path with sparse shortcut edges —
+    very low, near-constant degree like the SuiteSparse road matrices."""
+    rng = np.random.default_rng(seed)
+    idx = np.arange(n - 1, dtype=np.int64)
+    rows = [idx]
+    cols = [idx + 1]
+    n_extra = max(1, n // extra_every)
+    er = rng.integers(0, n, size=n_extra, dtype=np.int64)
+    ec = np.minimum(n - 1, er + rng.integers(2, 50, size=n_extra))
+    rows.append(er)
+    cols.append(ec)
+    return _symmetrize(n, np.concatenate(rows), np.concatenate(cols))
+
+
+def small_world(n: int, k: int = 4, p: float = 0.05, *, seed: int = 0) -> CSR:
+    """Watts–Strogatz-style ring lattice with random rewiring."""
+    rng = np.random.default_rng(seed)
+    idx = np.arange(n, dtype=np.int64)
+    rows, cols = [], []
+    for d in range(1, k // 2 + 1):
+        tgt = (idx + d) % n
+        rewire = rng.random(n) < p
+        tgt = np.where(rewire, rng.integers(0, n, size=n, dtype=np.int64), tgt)
+        rows.append(idx)
+        cols.append(tgt)
+    return _symmetrize(n, np.concatenate(rows), np.concatenate(cols))
+
+
+def power_law(n: int, m_edges: int, *, exponent: float = 2.1, seed: int = 0) -> CSR:
+    """Heavy-tailed graph via the configuration-model shortcut: endpoint of
+    each edge drawn with probability proportional to ``rank^(-1/(exp-1))``."""
+    rng = np.random.default_rng(seed)
+    w = np.power(np.arange(1, n + 1, dtype=np.float64), -1.0 / (exponent - 1.0))
+    w /= w.sum()
+    rows = rng.choice(n, size=m_edges, p=w).astype(np.int64)
+    cols = rng.choice(n, size=m_edges, p=w).astype(np.int64)
+    return _symmetrize(n, rows, cols)
+
+
+def block_diagonal_dense(n_blocks: int, block: int, *, seed: int = 0, fill: float = 0.6) -> CSR:
+    """Dense diagonal blocks — mimics matrices with locally dense structure
+    (e.g. FEM or cliques), a regime where push flops grow quadratically."""
+    rng = np.random.default_rng(seed)
+    n = n_blocks * block
+    rows, cols = [], []
+    for t in range(n_blocks):
+        base = t * block
+        rr, cc = np.nonzero(rng.random((block, block)) < fill)
+        rows.append(rr + base)
+        cols.append(cc + base)
+    return _symmetrize(n, np.concatenate(rows).astype(np.int64), np.concatenate(cols).astype(np.int64))
+
+
+def bipartite_like(n_left: int, n_right: int, degree: float, *, seed: int = 0) -> CSR:
+    """Near-bipartite square graph: edges only between the two vertex sets
+    (plus none inside), stored as one square adjacency of size left+right."""
+    rng = np.random.default_rng(seed)
+    n = n_left + n_right
+    m = int(n_left * degree)
+    rows = rng.integers(0, n_left, size=m, dtype=np.int64)
+    cols = n_left + rng.integers(0, n_right, size=m, dtype=np.int64)
+    return _symmetrize(n, rows, cols)

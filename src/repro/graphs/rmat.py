@@ -1,0 +1,67 @@
+"""R-MAT (Recursive MATrix) graph generator — Chakrabarti et al. [13].
+
+The paper's scaling experiments (Figures 10, 11, 14, 15) use R-MAT graphs
+"with parameters identical to those used in the Graph500 benchmark":
+``(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`` and edge factor 16.  A graph of
+*scale* ``s`` has ``2^s`` vertices and ``edge_factor * 2^s`` generated
+edges (before dedup / self-loop removal, per Graph500 convention).
+
+The generator is fully vectorized: every one of the ``s`` bit levels is
+drawn for all edges at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSR
+
+__all__ = ["rmat", "GRAPH500_PARAMS", "GRAPH500_EDGE_FACTOR"]
+
+GRAPH500_PARAMS = (0.57, 0.19, 0.19, 0.05)
+GRAPH500_EDGE_FACTOR = 16
+
+
+def rmat(
+    scale: int,
+    *,
+    edge_factor: int = GRAPH500_EDGE_FACTOR,
+    params: tuple = GRAPH500_PARAMS,
+    seed: int = 0,
+    symmetric: bool = True,
+    drop_self_loops: bool = True,
+) -> CSR:
+    """Generate an R-MAT adjacency matrix of ``2**scale`` vertices."""
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    a, b, c, d = params
+    if not np.isclose(a + b + c + d, 1.0):
+        raise ValueError("R-MAT parameters must sum to 1")
+    n = 1 << scale
+    m = edge_factor * n
+    rng = np.random.default_rng(seed)
+
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    # per-level quadrant choice: P(row bit=0, col bit=0)=a, (0,1)=b,
+    # (1,0)=c, (1,1)=d
+    for _level in range(scale):
+        r = rng.random(m)
+        row_bit = (r >= a + b).astype(np.int64)
+        col_bit = (((r >= a) & (r < a + b)) | (r >= a + b + c)).astype(np.int64)
+        rows = (rows << 1) | row_bit
+        cols = (cols << 1) | col_bit
+
+    vals = rng.random(m) + 1e-9
+    if drop_self_loops:
+        keep = rows != cols
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    if symmetric:
+        rows, cols, vals = (
+            np.concatenate([rows, cols]),
+            np.concatenate([cols, rows]),
+            np.concatenate([vals, vals]),
+        )
+    # CSR.from_coo sums duplicates; for adjacency use pattern semantics
+    mat = CSR.from_coo((n, n), rows, cols, vals)
+    return mat.pattern()

@@ -1,0 +1,107 @@
+"""The 26-graph "real-world" stand-in suite.
+
+The paper benchmarks the 26 SuiteSparse matrices of Nagasaka et al. (their
+Table 2; input nnz 350K-100M).  That collection is not available offline,
+so — per the DESIGN.md substitution table — this module defines 26 named,
+deterministic synthetic graphs spanning the same structural axes at
+laptop-friendly sizes: ER at several densities, R-MAT/power-law heavy
+tails, 2D/3D meshes, road-like planar graphs, small-world graphs,
+near-bipartite and locally-dense matrices.
+
+The suite is what the performance-profile experiments (Figures 8, 9, 12,
+13, 16) iterate over.  Each entry is a zero-argument factory so benches pay
+only for the graphs they use; :func:`load` memoises.
+
+Sizes are chosen so the full 14-scheme sweep over the suite finishes in
+minutes in pure Python while keeping nnz spread over ~2 orders of
+magnitude (3K-300K), preserving the small-vs-large cache crossovers.
+Pass ``scale_factor`` to :func:`load`/:func:`load_all` to grow everything
+for a beefier machine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..sparse import CSR
+from .erdos_renyi import erdos_renyi_graph
+from .generators import (
+    bipartite_like,
+    block_diagonal_dense,
+    grid2d,
+    grid3d,
+    path_like_road,
+    power_law,
+    small_world,
+)
+from .rmat import rmat
+
+__all__ = ["SUITE", "suite_names", "load", "load_all"]
+
+
+def _s(x: float, f: float) -> int:
+    return max(4, int(x * f))
+
+
+def _build_suite() -> Dict[str, Callable[[float], CSR]]:
+    # name -> factory(scale_factor). Degrees/densities fixed; sizes scale.
+    return {
+        # --- Erdős–Rényi at increasing density (Figure-7 regimes) ---
+        "er-sparse-s": lambda f: erdos_renyi_graph(_s(2000, f), 3, seed=11),
+        "er-sparse-l": lambda f: erdos_renyi_graph(_s(12000, f), 4, seed=12),
+        "er-mid-s": lambda f: erdos_renyi_graph(_s(1500, f), 12, seed=13),
+        "er-mid-l": lambda f: erdos_renyi_graph(_s(8000, f), 14, seed=14),
+        "er-dense-s": lambda f: erdos_renyi_graph(_s(800, f), 40, seed=15),
+        "er-dense-l": lambda f: erdos_renyi_graph(_s(3000, f), 48, seed=16),
+        # --- R-MAT / heavy-tailed (web & social-like) ---
+        "rmat-10": lambda f: rmat(10, seed=21),
+        "rmat-11": lambda f: rmat(11, seed=22),
+        "rmat-12": lambda f: rmat(12, seed=23),
+        "rmat-13-ef8": lambda f: rmat(13, edge_factor=8, seed=24),
+        "powerlaw-s": lambda f: power_law(_s(3000, f), _s(24000, f), seed=25),
+        "powerlaw-l": lambda f: power_law(_s(15000, f), _s(120000, f), seed=26),
+        "powerlaw-steep": lambda f: power_law(_s(8000, f), _s(48000, f), exponent=1.9, seed=27),
+        # --- meshes (FEM-like regular structure) ---
+        "grid2d-s": lambda f: grid2d(_s(48, f)),
+        "grid2d-l": lambda f: grid2d(_s(130, f)),
+        "grid2d-diag": lambda f: grid2d(_s(72, f), diagonal=True),
+        "grid3d-s": lambda f: grid3d(_s(14, f)),
+        "grid3d-l": lambda f: grid3d(_s(24, f)),
+        # --- road-like (very low degree, huge diameter) ---
+        "road-s": lambda f: path_like_road(_s(8000, f), seed=31),
+        "road-l": lambda f: path_like_road(_s(40000, f), seed=32),
+        # --- small world ---
+        "smallworld-s": lambda f: small_world(_s(4000, f), k=6, p=0.03, seed=41),
+        "smallworld-l": lambda f: small_world(_s(20000, f), k=8, p=0.08, seed=42),
+        # --- locally dense / clique-ish ---
+        "blockdense-s": lambda f: block_diagonal_dense(_s(30, f), 24, seed=51),
+        "blockdense-l": lambda f: block_diagonal_dense(_s(80, f), 32, seed=52),
+        # --- near-bipartite ---
+        "bipartite-s": lambda f: bipartite_like(_s(1500, f), _s(2500, f), 6, seed=61),
+        "bipartite-l": lambda f: bipartite_like(_s(6000, f), _s(9000, f), 8, seed=62),
+    }
+
+
+SUITE: Dict[str, Callable[[float], CSR]] = _build_suite()
+
+_cache: Dict[tuple, CSR] = {}
+
+
+def suite_names() -> List[str]:
+    """The 26 suite graph names, in canonical order."""
+    return list(SUITE.keys())
+
+
+def load(name: str, scale_factor: float = 1.0) -> CSR:
+    """Build (and memoise) one suite graph."""
+    if name not in SUITE:
+        raise KeyError(f"unknown suite graph {name!r}")
+    key = (name, scale_factor)
+    if key not in _cache:
+        _cache[key] = SUITE[name](scale_factor)
+    return _cache[key]
+
+
+def load_all(scale_factor: float = 1.0, names=None) -> Dict[str, CSR]:
+    """Build the whole suite (or the named subset)."""
+    return {n: load(n, scale_factor) for n in (names or suite_names())}

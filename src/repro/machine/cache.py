@@ -1,0 +1,157 @@
+"""Set-associative LRU cache simulator.
+
+The paper's key performance arguments are cache arguments: MSA's dense
+length-``n`` arrays overflow L1/L2 (Section 5.3), the Hash accumulator trades
+probe overhead for compactness, the Inner algorithm streams columns of ``B``
+with no reuse (Section 4.1), and the Haswell-vs-KNL differences stem from the
+40 MB L3 that KNL lacks (Section 8.3).
+
+We model a single cache level (per-thread "effective private cache" or the
+shared LLC, depending on the experiment) as a set-associative LRU cache over
+64-byte lines.  Kernels do not call the simulator per access — that would be
+hopeless in Python; instead the cost model replays *access summaries*
+(address streams in compressed form, see :class:`AccessTrace`) or uses the
+analytic traffic formulas of :mod:`repro.machine.traffic` when the problem is
+large.
+
+The simulator is still exact for the streams it is given, and is unit-tested
+against hand-computed miss counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["CacheSim", "AccessTrace"]
+
+
+class CacheSim:
+    """Set-associative LRU cache over fixed-size lines.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    line_bytes:
+        Cache-line size (the paper's ``L`` words; default 64 bytes = 8
+        words of 8 bytes).
+    assoc:
+        Associativity.  ``assoc=size/line`` gives a fully-associative LRU.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, assoc: int = 8) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or assoc <= 0:
+            raise ValueError("cache parameters must be positive")
+        n_lines = max(1, size_bytes // line_bytes)
+        assoc = min(assoc, n_lines)
+        n_sets = max(1, n_lines // assoc)
+        # round number of sets down to a power of two for cheap indexing
+        n_sets = 1 << (n_sets.bit_length() - 1)
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.n_sets = n_sets
+        # tags[s] is a list ordered MRU-first
+        self._tags: List[List[int]] = [[] for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_sets * self.assoc * self.line_bytes
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Invalidate all lines and reset statistics."""
+        self._tags = [[] for _ in range(self.n_sets)]
+        self.reset_stats()
+
+    def access(self, addr: int) -> bool:
+        """Touch one byte address; return True on hit."""
+        line = addr // self.line_bytes
+        s = line & (self.n_sets - 1)
+        tag = line >> 0
+        ways = self._tags[s]
+        try:
+            i = ways.index(tag)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, tag)
+            if len(ways) > self.assoc:
+                ways.pop()
+            return False
+        self.hits += 1
+        if i:
+            ways.insert(0, ways.pop(i))
+        return True
+
+    def access_range(self, start: int, nbytes: int) -> Tuple[int, int]:
+        """Touch a contiguous byte range; return (hits, misses) added."""
+        h0, m0 = self.hits, self.misses
+        first = start // self.line_bytes
+        last = (start + max(nbytes, 1) - 1) // self.line_bytes
+        for line in range(first, last + 1):
+            self.access(line * self.line_bytes)
+        return self.hits - h0, self.misses - m0
+
+    def access_many(self, addrs: Iterable[int]) -> Tuple[int, int]:
+        """Touch a sequence of byte addresses; return (hits, misses) added."""
+        h0, m0 = self.hits, self.misses
+        for a in addrs:
+            self.access(int(a))
+        return self.hits - h0, self.misses - m0
+
+    def miss_rate(self) -> float:
+        n = self.hits + self.misses
+        return self.misses / n if n else 0.0
+
+
+@dataclass
+class AccessTrace:
+    """Compressed representation of a kernel's memory-access stream.
+
+    A trace is a list of ``(base, offsets, stride_bytes)`` segments: the
+    kernel touched ``base + offsets[i] * stride_bytes`` for each i in order.
+    Contiguous streams use ``offsets=np.arange(k)``; scatter/gather streams
+    pass the actual index arrays (e.g. the column ids hitting a SPA).
+    ``region`` labels the logical array for reporting.
+    """
+
+    segments: List[Tuple[str, int, np.ndarray, int]]
+
+    def __init__(self) -> None:
+        self.segments = []
+
+    def touch(
+        self, region: str, base: int, offsets: np.ndarray, stride_bytes: int = 8
+    ) -> None:
+        self.segments.append(
+            (region, int(base), np.asarray(offsets, dtype=np.int64), int(stride_bytes))
+        )
+
+    def touch_contiguous(self, region: str, base: int, nbytes: int) -> None:
+        n_words = max(1, nbytes // 8)
+        self.touch(region, base, np.arange(n_words, dtype=np.int64), 8)
+
+    def replay(self, cache: CacheSim, sample: int = 1) -> Tuple[int, int]:
+        """Replay the trace through a cache; returns (hits, misses).
+
+        ``sample > 1`` replays every ``sample``-th access of long scatter
+        segments (contiguous segments are always replayed exactly since
+        their cost is cheap to model precisely).
+        """
+        h0, m0 = cache.hits, cache.misses
+        for _region, base, offsets, stride in self.segments:
+            addrs = base + offsets * stride
+            if sample > 1 and offsets.shape[0] > 4 * sample:
+                addrs = addrs[::sample]
+            cache.access_many(addrs.tolist())
+        return cache.hits - h0, cache.misses - m0
+
+    def n_accesses(self) -> int:
+        return sum(seg[2].shape[0] for seg in self.segments)

@@ -1,0 +1,69 @@
+"""Operation counters for instrumented kernel runs.
+
+The paper's conclusions are driven by *how much work* and *what memory
+traffic* each algorithm incurs (Sections 4.1-4.3), not by constant factors of
+a particular ISA.  The reference kernels therefore record a small set of
+architecture-neutral counters which the machine model (:mod:`repro.machine.
+cost_model`) converts to predicted times.
+
+Counter semantics:
+
+* ``flops`` — semiring multiply-add pairs actually evaluated.  For a masked
+  algorithm that skips masked-out products this is smaller than
+  ``flops(AB)``.
+* ``useful_flops`` — multiply-adds that land on an unmasked output entry
+  (identical for all correct algorithms on the same problem; the difference
+  ``flops - useful_flops`` is the wasted work the mask could have saved).
+* ``accum_inserts`` / ``accum_removes`` / ``accum_allowed`` — accumulator
+  interface traffic (Section 5.1).
+* ``hash_probes`` — linear-probing steps in the hash accumulator.
+* ``heap_pushes`` / ``heap_pops`` — priority-queue traffic (each costs
+  ``O(log nnz(u))``).
+* ``mask_scans`` — mask entries inspected (MCA/Heap iterate the mask).
+* ``accum_init`` — accumulator cells initialised (MSA pays ``ncols`` once,
+  amortised across rows via the reset-list trick; Hash pays
+  ``nnz(m)/load_factor`` per row).
+* ``spa_resets`` — cells cleared when recycling a dense accumulator.
+* ``symbolic_flops`` — work done in a 2P symbolic phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["OpCounter"]
+
+
+@dataclass
+class OpCounter:
+    """Mutable bundle of operation counts for one kernel invocation."""
+
+    flops: int = 0
+    useful_flops: int = 0
+    accum_inserts: int = 0
+    accum_removes: int = 0
+    accum_allowed: int = 0
+    hash_probes: int = 0
+    heap_pushes: int = 0
+    heap_pops: int = 0
+    mask_scans: int = 0
+    accum_init: int = 0
+    spa_resets: int = 0
+    symbolic_flops: int = 0
+    output_nnz: int = 0
+
+    def merge(self, other: "OpCounter") -> "OpCounter":
+        """Accumulate another counter into this one (in place)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def total_ops(self) -> int:
+        """A scalar summary: every counted event, each weighted 1."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def copy(self) -> "OpCounter":
+        return OpCounter(**self.as_dict())

@@ -1,0 +1,221 @@
+"""Memory-access traces of the masked SpGEMM kernels.
+
+The cost model (:mod:`repro.machine.cost_model`) *interpolates* the price
+of a random access from the working-set size.  This module provides the
+ground truth to validate that interpolation against: it synthesises the
+actual byte-address streams each algorithm issues — following the five
+access patterns of Section 4.2 and each accumulator's layout — and replays
+them through the exact set-associative LRU simulator
+(:class:`repro.machine.cache.CacheSim`).
+
+A virtual address space is laid out per kernel run::
+
+    [A.indptr | A.indices | A.data | B.indptr | B.indices | B.data |
+     M.indptr | M.indices | accumulator arrays | output]
+
+Traces are exact for the given matrices (every accumulator touch, B-row
+fetch and mask scan appears at its true address and order); replaying them
+is O(accesses) Python, so callers use laptop-scale inputs.
+
+Used by ``benchmarks/test_ablation_cache_model.py`` to show the modeled
+MSA-vs-Hash crossover agrees with simulated miss counts, and by unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..sparse import CSC, CSR
+from .cache import AccessTrace, CacheSim
+
+__all__ = ["build_trace", "replay_miss_rate", "TRACEABLE_ALGOS"]
+
+TRACEABLE_ALGOS = ("msa", "hash", "mca", "inner")
+
+WORD = 8
+
+
+class _Layout:
+    """Sequential virtual-address allocator."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self.regions: Dict[str, Tuple[int, int]] = {}
+
+    def alloc(self, name: str, words: int) -> int:
+        base = self._next
+        self.regions[name] = (base, words * WORD)
+        self._next += words * WORD
+        # separate regions by a page to avoid accidental line sharing
+        self._next = (self._next + 4095) & ~4095
+        return base
+
+
+def _common_layout(a: CSR, b: CSR, mask: CSR):
+    lay = _Layout()
+    bases = {
+        "a_indptr": lay.alloc("a_indptr", a.nrows + 1),
+        "a_indices": lay.alloc("a_indices", max(1, a.nnz)),
+        "a_data": lay.alloc("a_data", max(1, a.nnz)),
+        "b_indptr": lay.alloc("b_indptr", b.nrows + 1),
+        "b_indices": lay.alloc("b_indices", max(1, b.nnz)),
+        "b_data": lay.alloc("b_data", max(1, b.nnz)),
+        "m_indptr": lay.alloc("m_indptr", mask.nrows + 1),
+        "m_indices": lay.alloc("m_indices", max(1, mask.nnz)),
+    }
+    return lay, bases
+
+
+def _push_row_accesses(trace, bases, a: CSR, b: CSR, i: int):
+    """Patterns 1-3 of Section 4.2 for output row i."""
+    lo, hi = int(a.indptr[i]), int(a.indptr[i + 1])
+    if hi > lo:
+        span = np.arange(lo, hi, dtype=np.int64)
+        trace.touch("a_row", bases["a_indices"], span)  # pattern 1
+        trace.touch("a_row_vals", bases["a_data"], span)
+        ks = a.indices[lo:hi]
+        trace.touch("b_rowptr", bases["b_indptr"], ks)  # pattern 2
+        for k in ks:  # pattern 3: stanza reads of B rows
+            blo, bhi = int(b.indptr[k]), int(b.indptr[k + 1])
+            if bhi > blo:
+                bspan = np.arange(blo, bhi, dtype=np.int64)
+                trace.touch("b_stanza", bases["b_indices"], bspan)
+                trace.touch("b_stanza_vals", bases["b_data"], bspan)
+
+
+def build_trace(a: CSR, b: CSR, mask: CSR, algo: str) -> AccessTrace:
+    """Exact access trace of one masked SpGEMM with the given algorithm."""
+    algo = algo.lower()
+    if algo not in TRACEABLE_ALGOS:
+        raise ValueError(f"no trace builder for {algo!r}; one of {TRACEABLE_ALGOS}")
+    a = a.sort_indices()
+    b = b.sort_indices()
+    mask = mask.sort_indices()
+    lay, bases = _common_layout(a, b, mask)
+    n = b.ncols
+    trace = AccessTrace()
+
+    if algo == "inner":
+        csc = CSC.from_csr(b)
+        bases["bc_indptr"] = lay.alloc("bc_indptr", n + 1)
+        bases["bc_indices"] = lay.alloc("bc_indices", max(1, b.nnz))
+        bases["bc_data"] = lay.alloc("bc_data", max(1, b.nnz))
+        bases["out"] = lay.alloc("out", max(1, mask.nnz))
+        out_pos = 0
+        for i in range(a.nrows):
+            mlo, mhi = int(mask.indptr[i]), int(mask.indptr[i + 1])
+            if mhi == mlo:
+                continue
+            alo, ahi = int(a.indptr[i]), int(a.indptr[i + 1])
+            aspan = np.arange(alo, ahi, dtype=np.int64)
+            for mp in range(mlo, mhi):
+                j = int(mask.indices[mp])
+                trace.touch("m_scan", bases["m_indices"], np.asarray([mp]))
+                trace.touch("col_ptr", bases["bc_indptr"], np.asarray([j]))
+                clo, chi = int(csc.indptr[j]), int(csc.indptr[j + 1])
+                if chi > clo:
+                    cspan = np.arange(clo, chi, dtype=np.int64)
+                    trace.touch("col_fetch", bases["bc_indices"], cspan)
+                    trace.touch("col_vals", bases["bc_data"], cspan)
+                # re-walk the A row per dot product
+                if ahi > alo:
+                    trace.touch("a_row", bases["a_indices"], aspan)
+                trace.touch("out", bases["out"], np.asarray([out_pos]))
+                out_pos += 1
+        return trace
+
+    # push algorithms: accumulator layout differs
+    if algo == "msa":
+        bases["acc_vals"] = lay.alloc("acc_vals", n)
+        bases["acc_states"] = lay.alloc("acc_states", n)
+    out_words = max(1, int(np.minimum(mask.row_nnz(), 1 << 30).sum()))
+    bases["out"] = lay.alloc("out", out_words)
+
+    out_pos = 0
+    for i in range(a.nrows):
+        mlo, mhi = int(mask.indptr[i]), int(mask.indptr[i + 1])
+        nm = mhi - mlo
+        if nm == 0:
+            continue
+        mcols = mask.indices[mlo:mhi]
+        mspan = np.arange(mlo, mhi, dtype=np.int64)
+        trace.touch("m_row", bases["m_indices"], mspan)
+
+        if algo == "hash":
+            cap = max(4, 1 << int(np.ceil(np.log2(max(1, nm * 4)))))
+            bases["acc_vals"] = lay.alloc(f"hash_vals_{i}", cap)
+            bases["acc_states"] = bases["acc_vals"]  # packed in one entry
+            slot_of = {int(c): (int(c) * 0x9E3779B1) % cap for c in mcols}
+        elif algo == "mca":
+            bases["acc_vals"] = lay.alloc(f"mca_vals_{i}", nm)
+            slot_of = {int(c): r for r, c in enumerate(mcols)}
+
+        # setAllowed: one accumulator touch per mask nonzero
+        if algo == "msa":
+            trace.touch("acc_allow", bases["acc_states"], mcols)
+        elif algo == "hash":
+            trace.touch(
+                "acc_allow", bases["acc_vals"],
+                np.asarray([slot_of[int(c)] for c in mcols]),
+            )
+        # (MCA: allowed-by-construction, no touches)
+
+        # inserts: every product touches the accumulator (MSA/Hash), only
+        # matched products for MCA (the merge walks m_indices instead)
+        alo, ahi = int(a.indptr[i]), int(a.indptr[i + 1])
+        _push_row_accesses(trace, bases, a, b, i)
+        allowed = set(int(c) for c in mcols)
+        for k in a.indices[alo:ahi]:
+            blo, bhi = int(b.indptr[k]), int(b.indptr[k + 1])
+            cols = b.indices[blo:bhi]
+            if algo == "msa":
+                trace.touch("acc_insert_state", bases["acc_states"], cols)
+                hits = cols[np.isin(cols, mcols)]
+                if hits.shape[0]:
+                    trace.touch("acc_insert_val", bases["acc_vals"], hits)
+            elif algo == "hash":
+                probe = np.asarray(
+                    [slot_of.get(int(c), (int(c) * 0x9E3779B1) % cap) for c in cols]
+                )
+                trace.touch("acc_insert", bases["acc_vals"], probe)
+            else:  # mca: two-pointer merge re-walks the mask row
+                trace.touch("mca_merge", bases["m_indices"], mspan)
+                hits = [slot_of[int(c)] for c in cols if int(c) in allowed]
+                if hits:
+                    trace.touch("acc_insert", bases["acc_vals"], np.asarray(hits))
+
+        # gather through the mask
+        if algo == "msa":
+            trace.touch("acc_gather", bases["acc_states"], mcols)
+        elif algo == "hash":
+            trace.touch(
+                "acc_gather", bases["acc_vals"],
+                np.asarray([slot_of[int(c)] for c in mcols]),
+            )
+        else:
+            trace.touch("acc_gather", bases["acc_vals"],
+                        np.arange(nm, dtype=np.int64))
+        trace.touch("out", bases["out"],
+                    np.arange(out_pos, out_pos + nm, dtype=np.int64))
+        out_pos += nm
+    return trace
+
+
+def replay_miss_rate(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    algo: str,
+    *,
+    cache_bytes: int = 256 * 1024,
+    line_bytes: int = 64,
+    assoc: int = 8,
+) -> Tuple[float, int, int]:
+    """Build + replay a kernel trace; returns (miss_rate, hits, misses)."""
+    trace = build_trace(a, b, mask, algo)
+    sim = CacheSim(cache_bytes, line_bytes=line_bytes, assoc=assoc)
+    hits, misses = trace.replay(sim)
+    total = hits + misses
+    return (misses / total if total else 0.0), hits, misses

@@ -1,0 +1,110 @@
+"""Parallel-schedule (makespan) simulator.
+
+The paper parallelizes masked SpGEMM across output rows ("plenty of
+coarse-grained parallelism across rows", Section 3) with OpenMP.  Given a
+vector of per-row costs (from the cost model or from measured per-row work),
+this module computes the makespan under the common OpenMP scheduling
+policies, which is exactly what the strong-scaling figures (Fig. 11) need:
+
+* ``static`` — contiguous blocks of ceil(n/p) rows per thread.
+* ``cyclic`` — round-robin rows (OpenMP ``schedule(static,1)``).
+* ``dynamic`` — greedy chunk self-scheduling (OpenMP ``schedule(dynamic,c)``):
+  an idle thread grabs the next chunk of ``chunk`` rows.
+* ``guided`` — decreasing chunk sizes (remaining/p, floored at ``chunk``).
+
+All policies respect the classic list-scheduling bounds, which the tests
+assert: ``max(total/p, max_row) <= makespan <= total/p + max_row_chunk``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = ["simulate_makespan", "speedup_curve", "SCHEDULES"]
+
+SCHEDULES = ("static", "cyclic", "dynamic", "guided")
+
+
+def _chunks_dynamic(n: int, chunk: int) -> Iterable[slice]:
+    for lo in range(0, n, chunk):
+        yield slice(lo, min(n, lo + chunk))
+
+
+def _chunks_guided(n: int, p: int, min_chunk: int) -> Iterable[slice]:
+    lo = 0
+    while lo < n:
+        size = max(min_chunk, (n - lo) // max(1, 2 * p))
+        yield slice(lo, min(n, lo + size))
+        lo += size
+
+
+def simulate_makespan(
+    row_cycles: np.ndarray,
+    threads: int,
+    schedule: str = "dynamic",
+    chunk: int = 64,
+) -> float:
+    """Makespan (cycles) of executing rows with the given policy.
+
+    ``row_cycles`` is a 1-D array of non-negative per-row costs; ``threads``
+    the number of workers.
+    """
+    costs = np.asarray(row_cycles, dtype=np.float64)
+    if costs.ndim != 1:
+        raise ValueError("row_cycles must be 1-D")
+    if np.any(costs < 0):
+        raise ValueError("row costs must be non-negative")
+    n = costs.shape[0]
+    p = int(threads)
+    if p <= 0:
+        raise ValueError("threads must be positive")
+    if n == 0:
+        return 0.0
+    if p == 1:
+        return float(costs.sum())
+
+    if schedule == "static":
+        block = -(-n // p)  # ceil
+        ends = [float(costs[i * block : (i + 1) * block].sum()) for i in range(p)]
+        return max(ends)
+
+    if schedule == "cyclic":
+        ends = [float(costs[i::p].sum()) for i in range(p)]
+        return max(ends)
+
+    if schedule == "dynamic":
+        chunks = _chunks_dynamic(n, max(1, chunk))
+    elif schedule == "guided":
+        chunks = _chunks_guided(n, p, max(1, chunk))
+    else:
+        raise ValueError(f"unknown schedule {schedule!r}; expected one of {SCHEDULES}")
+
+    # greedy list scheduling: next chunk goes to the earliest-free worker
+    prefix = np.concatenate(([0.0], np.cumsum(costs)))
+    workers: List[float] = [0.0] * p
+    heapq.heapify(workers)
+    for sl in chunks:
+        w = float(prefix[sl.stop] - prefix[sl.start])
+        t = heapq.heappop(workers)
+        heapq.heappush(workers, t + w)
+    return max(workers)
+
+
+def speedup_curve(
+    row_cycles: np.ndarray,
+    thread_counts: Iterable[int],
+    schedule: str = "dynamic",
+    chunk: int = 64,
+    serial_cycles: float = 0.0,
+) -> dict:
+    """Speedup vs thread count: ``T(1) / T(p)`` including any serial
+    (non-parallelizable) component ``serial_cycles`` — Amdahl-style."""
+    base = float(np.sum(row_cycles)) + serial_cycles
+    out = {}
+    for p in thread_counts:
+        span = simulate_makespan(row_cycles, p, schedule=schedule, chunk=chunk)
+        out[int(p)] = base / (span + serial_cycles) if base else 1.0
+    return out

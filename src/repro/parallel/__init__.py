@@ -1,0 +1,18 @@
+"""Row-parallel execution: partitioners and the thread-pool driver."""
+
+from .executor import parallel_masked_spgemm, row_slice
+from .partition import (
+    balanced_partition,
+    block_partition,
+    chunk_schedule,
+    cyclic_partition,
+)
+
+__all__ = [
+    "parallel_masked_spgemm",
+    "row_slice",
+    "balanced_partition",
+    "block_partition",
+    "chunk_schedule",
+    "cyclic_partition",
+]

@@ -1,0 +1,119 @@
+"""Row-parallel masked SpGEMM driver.
+
+Executes ``C = M .* (A @ B)`` by partitioning output rows across workers and
+merging the per-partition results (patterns are disjoint by construction, so
+the merge is a concatenation).  Matches the paper's coarse-grained row
+parallelism; within-row parallelism is deliberately absent, as in the paper.
+
+Caveat documented in DESIGN.md: under CPython's GIL the thread backend
+yields limited real speedup (NumPy releases the GIL inside large kernels, so
+some overlap does occur for the fast kernels); the backend exists to make
+the parallel decomposition real, deterministic and testable, while the
+*scaling claims* are reproduced by :mod:`repro.machine.scheduler` from
+per-row work profiles.  ``backend="serial"`` runs the same partitioned code
+path without threads.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+import numpy as np
+
+from ..machine import OpCounter
+from ..semiring import PLUS_TIMES, Semiring
+from ..sparse import CSC, CSR
+from ..core.masked_spgemm import masked_spgemm
+from .partition import balanced_partition, block_partition, cyclic_partition
+
+__all__ = ["parallel_masked_spgemm", "row_slice"]
+
+
+def row_slice(mat: CSR, rows: np.ndarray) -> CSR:
+    """CSR holding only the given rows (shape preserved, other rows empty).
+    Unlike ``select_rows`` this is a cheap contiguous slice when ``rows``
+    is a contiguous range."""
+    return mat.select_rows(rows)
+
+
+def _merge(parts: List[CSR], shape) -> CSR:
+    rows = []
+    cols = []
+    vals = []
+    for p in parts:
+        r, c, v = p.to_coo()
+        rows.append(r)
+        cols.append(c)
+        vals.append(v)
+    if not rows:
+        return CSR.empty(shape)
+    return CSR.from_coo(
+        shape, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+    )
+
+
+def parallel_masked_spgemm(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    algo: str = "msa",
+    threads: int = 4,
+    partition: str = "balanced",
+    complement: bool = False,
+    semiring: Semiring = PLUS_TIMES,
+    impl: str = "auto",
+    backend: str = "threads",
+    counter: Optional[OpCounter] = None,
+) -> CSR:
+    """Masked SpGEMM with row-parallel execution.
+
+    ``partition``: ``"block"``, ``"cyclic"`` or ``"balanced"`` (flops-
+    weighted contiguous blocks).  ``backend``: ``"threads"`` or ``"serial"``.
+    """
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    if backend not in ("threads", "serial"):
+        raise ValueError("backend must be 'threads' or 'serial'")
+    n_parts = min(threads, max(1, a.nrows))
+    if partition == "block":
+        parts = block_partition(a.nrows, n_parts)
+    elif partition == "cyclic":
+        parts = cyclic_partition(a.nrows, n_parts)
+    elif partition == "balanced":
+        from ..machine import flops_per_row
+
+        parts = balanced_partition(flops_per_row(a, b), n_parts)
+    else:
+        raise ValueError("partition must be 'block', 'cyclic' or 'balanced'")
+
+    b_csc = CSC.from_csr(b) if algo.lower() == "inner" else None
+    counters = [OpCounter() for _ in parts]
+
+    def work(idx: int) -> CSR:
+        rows = parts[idx]
+        if rows.size == 0:
+            return CSR.empty((a.nrows, b.ncols))
+        return masked_spgemm(
+            row_slice(a, rows),
+            b,
+            row_slice(mask, rows),
+            algo=algo,
+            complement=complement,
+            semiring=semiring,
+            impl=impl,
+            counter=counters[idx],
+            b_csc=b_csc,
+        )
+
+    if backend == "serial" or n_parts == 1:
+        results = [work(i) for i in range(len(parts))]
+    else:
+        with ThreadPoolExecutor(max_workers=n_parts) as pool:
+            results = list(pool.map(work, range(len(parts))))
+
+    if counter is not None:
+        for c in counters:
+            counter.merge(c)
+    return _merge(results, (a.nrows, b.ncols))

@@ -1,0 +1,65 @@
+"""Row partitioners for parallel masked SpGEMM.
+
+The paper parallelizes across output rows with OpenMP (Section 3: "plenty of
+coarse-grained parallelism across rows").  These helpers produce row
+partitions for the real thread-pool driver and for the makespan simulator:
+
+* :func:`block_partition` — contiguous equal-count blocks.
+* :func:`cyclic_partition` — round-robin rows.
+* :func:`balanced_partition` — contiguous blocks balanced by a per-row
+  weight (e.g. flops per row), the standard prefix-sum splitting used when
+  static scheduling must fight skewed row costs.
+* :func:`chunk_schedule` — the dynamic chunk sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "block_partition",
+    "cyclic_partition",
+    "balanced_partition",
+    "chunk_schedule",
+]
+
+
+def block_partition(n_rows: int, n_parts: int) -> List[np.ndarray]:
+    """Contiguous blocks of ~equal row count."""
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    bounds = np.linspace(0, n_rows, n_parts + 1).astype(np.int64)
+    return [np.arange(bounds[i], bounds[i + 1]) for i in range(n_parts)]
+
+
+def cyclic_partition(n_rows: int, n_parts: int) -> List[np.ndarray]:
+    """Round-robin row assignment (OpenMP ``schedule(static, 1)``)."""
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    return [np.arange(i, n_rows, n_parts, dtype=np.int64) for i in range(n_parts)]
+
+
+def balanced_partition(weights: np.ndarray, n_parts: int) -> List[np.ndarray]:
+    """Contiguous blocks with ~equal total weight (prefix-sum splitting)."""
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    w = np.asarray(weights, dtype=np.float64)
+    n = w.shape[0]
+    prefix = np.concatenate(([0.0], np.cumsum(w)))
+    total = prefix[-1]
+    if total <= 0:
+        return block_partition(n, n_parts)
+    targets = np.linspace(0, total, n_parts + 1)
+    cuts = np.searchsorted(prefix, targets[1:-1], side="left")
+    bounds = np.concatenate(([0], cuts, [n])).astype(np.int64)
+    bounds = np.maximum.accumulate(bounds)
+    return [np.arange(bounds[i], bounds[i + 1]) for i in range(n_parts)]
+
+
+def chunk_schedule(n_rows: int, chunk: int) -> List[Tuple[int, int]]:
+    """The ordered chunk list a dynamic scheduler hands out."""
+    if chunk <= 0:
+        raise ValueError("chunk must be positive")
+    return [(lo, min(n_rows, lo + chunk)) for lo in range(0, n_rows, chunk)]

@@ -1,0 +1,29 @@
+"""Semiring algebra used by every masked SpGEMM kernel."""
+
+from .semiring import (
+    MAX_TIMES,
+    MIN_FIRST,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_AND,
+    PLUS_FIRST,
+    PLUS_PAIR,
+    PLUS_SECOND,
+    PLUS_TIMES,
+    STANDARD_SEMIRINGS,
+    Semiring,
+)
+
+__all__ = [
+    "Semiring",
+    "PLUS_TIMES",
+    "PLUS_PAIR",
+    "PLUS_AND",
+    "MIN_PLUS",
+    "MAX_TIMES",
+    "OR_AND",
+    "MIN_FIRST",
+    "PLUS_FIRST",
+    "PLUS_SECOND",
+    "STANDARD_SEMIRINGS",
+]

@@ -1,0 +1,85 @@
+"""Compressed Sparse Column (CSC) matrix container.
+
+The paper uses CSC in exactly one place: the pull-based inner-product
+algorithm (Section 4.1) stores ``B`` column-major so that the sparse dot
+product ``A[i,:] . B[:,j]`` walks a contiguous column.  CSC of ``B`` is the
+CSR of ``B^T``, so this class is a thin column-access veneer over
+:class:`repro.sparse.csr.CSR`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .csr import CSR
+
+__all__ = ["CSC"]
+
+
+class CSC:
+    """CSC view of a sparse matrix: ``indptr`` over columns, ``indices`` are
+    row ids.  Internally stored as the CSR of the transpose."""
+
+    __slots__ = ("shape", "_t")
+
+    def __init__(self, shape: Tuple[int, int], csr_of_transpose: CSR) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        if csr_of_transpose.shape != (self.shape[1], self.shape[0]):
+            raise ValueError("transpose CSR has incompatible shape")
+        self._t = csr_of_transpose
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, mat: CSR) -> "CSC":
+        """Convert a CSR matrix to CSC (columns end up sorted by row id)."""
+        return cls(mat.shape, mat.transpose())
+
+    @classmethod
+    def from_coo(cls, shape, rows, cols, vals=None) -> "CSC":
+        t = CSR.from_coo((shape[1], shape[0]), np.asarray(cols), np.asarray(rows), vals)
+        return cls(shape, t)
+
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return self._t.nnz
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Column pointers."""
+        return self._t.indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Row indices, sorted within each column."""
+        return self._t.indices
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._t.data
+
+    def col(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Views of the row indices and values of column ``j``."""
+        return self._t.row(j)
+
+    def col_nnz(self) -> np.ndarray:
+        return self._t.row_nnz()
+
+    def to_csr(self) -> CSR:
+        return self._t.transpose()
+
+    def to_dense(self) -> np.ndarray:
+        return self._t.to_dense().T
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSC(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,348 @@
+"""Compressed Sparse Row (CSR) matrix container.
+
+This is the storage format used throughout the reproduction, mirroring the
+paper's choice (Section 2.1): three arrays — row pointers ``indptr``, column
+indices ``indices`` and values ``data``.  The container is deliberately thin:
+kernels operate on the raw NumPy arrays, and the class mostly provides
+construction, validation, conversion and structural helpers.
+
+Invariants (checked by :meth:`CSR.check`):
+
+* ``indptr`` has length ``nrows + 1``, is non-decreasing, starts at 0 and
+  ends at ``nnz``.
+* ``indices`` and ``data`` have length ``nnz``.
+* all column indices are in ``[0, ncols)``.
+* when ``sorted_indices`` is claimed, column indices are strictly increasing
+  within each row (which also implies no duplicates).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["CSR"]
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+
+class CSR:
+    """A CSR sparse matrix over NumPy arrays.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)``.
+    indptr, indices, data:
+        The standard CSR arrays.  They are converted to the canonical dtypes
+        (int64 indices, float64 values by default) but **not** copied when
+        already canonical.
+    sorted_indices:
+        Declare that each row's column indices are strictly increasing.  Most
+        kernels in :mod:`repro.core` require sorted, duplicate-free rows; use
+        :meth:`sort_indices` to establish the invariant.
+    check:
+        Validate the invariants at construction time.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data", "sorted_indices")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        sorted_indices: bool = False,
+        check: bool = True,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.ascontiguousarray(indptr, dtype=INDEX_DTYPE)
+        self.indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+        if data.dtype.kind in "fc":
+            self.data = np.ascontiguousarray(data)
+        else:
+            self.data = np.ascontiguousarray(data, dtype=VALUE_DTYPE)
+        self.sorted_indices = bool(sorted_indices)
+        if check:
+            self.check()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, shape: Tuple[int, int], dtype=VALUE_DTYPE) -> "CSR":
+        """An all-zero matrix of the given shape."""
+        return cls(
+            shape,
+            np.zeros(shape[0] + 1, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=INDEX_DTYPE),
+            np.empty(0, dtype=dtype),
+            sorted_indices=True,
+            check=False,
+        )
+
+    @classmethod
+    def from_coo(
+        cls,
+        shape: Tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray | None = None,
+        *,
+        sum_duplicates: bool = True,
+    ) -> "CSR":
+        """Build a CSR matrix from coordinate triples.
+
+        Duplicate ``(row, col)`` entries are summed (``sum_duplicates=True``,
+        the default) or rejected.  The result has sorted row segments.
+        """
+        rows = np.asarray(rows, dtype=INDEX_DTYPE)
+        cols = np.asarray(cols, dtype=INDEX_DTYPE)
+        if vals is None:
+            vals = np.ones(rows.shape[0], dtype=VALUE_DTYPE)
+        else:
+            vals = np.asarray(vals)
+            if vals.dtype.kind not in "fc":
+                vals = vals.astype(VALUE_DTYPE)
+        if not (rows.shape == cols.shape == vals.shape):
+            raise ValueError("rows, cols, vals must have identical shapes")
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= nrows:
+                raise ValueError("row index out of range")
+            if cols.min() < 0 or cols.max() >= ncols:
+                raise ValueError("column index out of range")
+        # Sort lexicographically by (row, col).
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if rows.size:
+            dup = (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
+            if dup.any():
+                if not sum_duplicates:
+                    raise ValueError("duplicate coordinates present")
+                # segment-reduce duplicate runs
+                keep = np.concatenate(([True], ~dup))
+                seg = np.cumsum(keep) - 1
+                out_vals = np.zeros(int(seg[-1]) + 1, dtype=vals.dtype)
+                np.add.at(out_vals, seg, vals)
+                rows, cols, vals = rows[keep], cols[keep], out_vals
+        indptr = np.zeros(nrows + 1, dtype=INDEX_DTYPE)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls((nrows, ncols), indptr, cols, vals, sorted_indices=True, check=False)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSR":
+        """Build from a 2-D dense array, dropping explicit zeros."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("dense array must be 2-D")
+        rows, cols = np.nonzero(dense)
+        return cls.from_coo(dense.shape, rows, cols, dense[rows, cols])
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSR":
+        """Build from a ``scipy.sparse`` matrix (used by tests/oracles)."""
+        m = mat.tocsr()
+        m.sum_duplicates()
+        m.sort_indices()
+        return cls(
+            m.shape,
+            m.indptr.astype(INDEX_DTYPE),
+            m.indices.astype(INDEX_DTYPE),
+            m.data.astype(VALUE_DTYPE),
+            sorted_indices=True,
+        )
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    def row_nnz(self) -> np.ndarray:
+        """Array of per-row nonzero counts."""
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Views of the column indices and values of row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def iter_rows(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(i, cols, vals)`` for every row (including empty rows)."""
+        for i in range(self.nrows):
+            cols, vals = self.row(i)
+            yield i, cols, vals
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def check(self) -> "CSR":
+        """Validate structural invariants; raise ``ValueError`` on breakage."""
+        nrows, ncols = self.shape
+        if self.indptr.shape[0] != nrows + 1:
+            raise ValueError("indptr has wrong length")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape[0] != nnz or self.data.shape[0] != nnz:
+            raise ValueError("indices/data length mismatch with indptr")
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= ncols):
+            raise ValueError("column index out of range")
+        if self.sorted_indices and nnz:
+            d = np.diff(self.indices)
+            starts = self.indptr[1:-1]
+            bad = d <= 0
+            bad[starts[(starts > 0) & (starts < nnz)] - 1] = False
+            if bad.any():
+                raise ValueError("indices not strictly increasing within rows")
+        return self
+
+    # ------------------------------------------------------------------
+    # conversions / structural ops
+    # ------------------------------------------------------------------
+    def copy(self) -> "CSR":
+        return CSR(
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.copy(),
+            sorted_indices=self.sorted_indices,
+            check=False,
+        )
+
+    def astype(self, dtype) -> "CSR":
+        return CSR(
+            self.shape,
+            self.indptr,
+            self.indices,
+            self.data.astype(dtype),
+            sorted_indices=self.sorted_indices,
+            check=False,
+        )
+
+    def to_coo(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, vals)`` coordinate arrays."""
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self.indptr)
+        )
+        return rows, self.indices.copy(), self.data.copy()
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.data.dtype)
+        rows, cols, vals = self.to_coo()
+        np.add.at(out, (rows, cols), vals)
+        return out
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (tests/oracles only)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.data.copy(), self.indices.copy(), self.indptr.copy()),
+            shape=self.shape,
+        )
+
+    def sort_indices(self) -> "CSR":
+        """Return an equivalent CSR with sorted, duplicate-summed rows."""
+        if self.sorted_indices:
+            return self
+        rows, cols, vals = self.to_coo()
+        return CSR.from_coo(self.shape, rows, cols, vals)
+
+    def transpose(self) -> "CSR":
+        """Transpose.  The result has sorted rows (CSR of the transpose is
+        the CSC of the original, so this also serves as the CSC builder)."""
+        rows, cols, vals = self.to_coo()
+        return CSR.from_coo((self.ncols, self.nrows), cols, rows, vals)
+
+    def pattern(self) -> "CSR":
+        """Same structure with all stored values set to 1.0."""
+        return CSR(
+            self.shape,
+            self.indptr,
+            self.indices,
+            np.ones(self.nnz, dtype=VALUE_DTYPE),
+            sorted_indices=self.sorted_indices,
+            check=False,
+        )
+
+    def drop_zeros(self, tol: float = 0.0) -> "CSR":
+        """Remove stored entries with ``|value| <= tol``."""
+        keep = np.abs(self.data) > tol
+        if keep.all():
+            return self
+        rows, cols, vals = self.to_coo()
+        return CSR.from_coo(self.shape, rows[keep], cols[keep], vals[keep])
+
+    def select_rows(self, mask_or_index: np.ndarray) -> "CSR":
+        """Keep only rows selected by a boolean mask or index array; other
+        rows become empty (the shape is unchanged)."""
+        sel = np.zeros(self.nrows, dtype=bool)
+        sel[mask_or_index] = True
+        rows, cols, vals = self.to_coo()
+        keep = sel[rows]
+        return CSR.from_coo(self.shape, rows[keep], cols[keep], vals[keep])
+
+    def permute(self, perm: np.ndarray) -> "CSR":
+        """Symmetric permutation ``P A P^T`` for a square matrix: row and
+        column ``i`` of the result is row/column ``perm[i]`` of ``self``."""
+        if self.nrows != self.ncols:
+            raise ValueError("permute requires a square matrix")
+        perm = np.asarray(perm, dtype=INDEX_DTYPE)
+        if perm.shape[0] != self.nrows or np.unique(perm).shape[0] != self.nrows:
+            raise ValueError("perm must be a permutation of range(n)")
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(self.nrows, dtype=INDEX_DTYPE)
+        rows, cols, vals = self.to_coo()
+        return CSR.from_coo(self.shape, inv[rows], inv[cols], vals)
+
+    def tril(self, k: int = -1) -> "CSR":
+        """Lower-triangular part (entries with ``col - row <= k``)."""
+        rows, cols, vals = self.to_coo()
+        keep = cols - rows <= k
+        return CSR.from_coo(self.shape, rows[keep], cols[keep], vals[keep])
+
+    def triu(self, k: int = 1) -> "CSR":
+        """Upper-triangular part (entries with ``col - row >= k``)."""
+        rows, cols, vals = self.to_coo()
+        keep = cols - rows >= k
+        return CSR.from_coo(self.shape, rows[keep], cols[keep], vals[keep])
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def equals(self, other: "CSR", *, rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        """Structural and numerical equality (after canonicalisation)."""
+        if self.shape != other.shape:
+            return False
+        a, b = self.sort_indices(), other.sort_indices()
+        if a.nnz != b.nnz:
+            return False
+        return (
+            np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.indices, b.indices)
+            and np.allclose(a.data, b.data, rtol=rtol, atol=atol)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSR(shape={self.shape}, nnz={self.nnz}, "
+            f"sorted={self.sorted_indices}, dtype={self.data.dtype})"
+        )

@@ -1,0 +1,113 @@
+"""Minimal MatrixMarket-style IO for CSR matrices.
+
+The paper draws its real-world inputs from the SuiteSparse Matrix
+Collection, which distributes ``.mtx`` (MatrixMarket) files.  The collection
+is unavailable offline (see DESIGN.md substitution table), but we keep a
+small, dependency-free reader/writer so that users with local ``.mtx`` files
+can run every benchmark on real matrices.
+
+Supports the ``matrix coordinate`` format with ``real`` / ``integer`` /
+``pattern`` fields and ``general`` / ``symmetric`` symmetry.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .csr import CSR
+
+__all__ = ["read_mtx", "write_mtx", "save_npz", "load_npz"]
+
+
+def read_mtx(path_or_file: Union[str, Path, io.TextIOBase]) -> CSR:
+    """Read a MatrixMarket coordinate file into a :class:`CSR` matrix.
+
+    Symmetric inputs are expanded (mirror entries added, diagonal kept
+    once).  Pattern inputs get value 1.0 for every entry.
+    """
+    if isinstance(path_or_file, (str, Path)):
+        with open(path_or_file, "r") as fh:
+            return read_mtx(fh)
+    fh = path_or_file
+    header = fh.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise ValueError("missing MatrixMarket header")
+    parts = header.strip().split()
+    if len(parts) < 5 or parts[1] != "matrix" or parts[2] != "coordinate":
+        raise ValueError(f"unsupported MatrixMarket header: {header!r}")
+    field, symmetry = parts[3], parts[4]
+    if field not in ("real", "integer", "pattern"):
+        raise ValueError(f"unsupported field type: {field}")
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry: {symmetry}")
+
+    line = fh.readline()
+    while line.startswith("%"):
+        line = fh.readline()
+    nrows, ncols, nnz = (int(tok) for tok in line.split())
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.ones(nnz, dtype=np.float64)
+    for k in range(nnz):
+        toks = fh.readline().split()
+        rows[k] = int(toks[0]) - 1
+        cols[k] = int(toks[1]) - 1
+        if field != "pattern":
+            vals[k] = float(toks[2])
+
+    if symmetry == "symmetric":
+        off = rows != cols  # mirror only off-diagonal entries
+        rows, cols, vals = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+            np.concatenate([vals, vals[off]]),
+        )
+
+    return CSR.from_coo((nrows, ncols), rows, cols, vals)
+
+
+def write_mtx(path_or_file: Union[str, Path, io.TextIOBase], mat: CSR) -> None:
+    """Write a CSR matrix as a ``general real`` MatrixMarket file."""
+    if isinstance(path_or_file, (str, Path)):
+        with open(path_or_file, "w") as fh:
+            write_mtx(fh, mat)
+        return
+    fh = path_or_file
+    rows, cols, vals = mat.sort_indices().to_coo()
+    fh.write("%%MatrixMarket matrix coordinate real general\n")
+    fh.write(f"{mat.nrows} {mat.ncols} {mat.nnz}\n")
+    for r, c, v in zip(rows, cols, vals):
+        fh.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")
+
+
+def save_npz(path_or_file, mat: CSR) -> None:
+    """Save a CSR matrix to a NumPy ``.npz`` archive (fast binary IO for
+    suite graphs and intermediate results)."""
+    np.savez_compressed(
+        path_or_file,
+        format=np.array("csr"),
+        shape=np.asarray(mat.shape, dtype=np.int64),
+        indptr=mat.indptr,
+        indices=mat.indices,
+        data=mat.data,
+        sorted_indices=np.array(mat.sorted_indices),
+    )
+
+
+def load_npz(path_or_file) -> CSR:
+    """Load a CSR matrix written by :func:`save_npz`."""
+    with np.load(path_or_file, allow_pickle=False) as z:
+        if str(z["format"]) != "csr":
+            raise ValueError(f"unsupported npz format {z['format']!r}")
+        return CSR(
+            tuple(int(x) for x in z["shape"]),
+            z["indptr"],
+            z["indices"],
+            z["data"],
+            sorted_indices=bool(z["sorted_indices"]),
+        )

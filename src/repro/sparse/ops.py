@@ -1,0 +1,157 @@
+"""Element-wise and structural operations on CSR matrices.
+
+These are the substrate operations the paper's applications need around the
+masked SpGEMM core: element-wise multiply (``.*``, used to apply masks and in
+triangle counting), element-wise add, complement-aware masking, reductions,
+and structural set operations on patterns.
+
+All binary ops require matching shapes and operate on *sorted* CSR inputs
+(callers get an automatic canonicalisation via ``CSR.sort_indices``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .csr import CSR, INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = [
+    "ewise_mult",
+    "ewise_add",
+    "mask_pattern",
+    "apply_mask",
+    "reduce_sum",
+    "row_reduce",
+    "pattern_union",
+    "pattern_intersection",
+    "pattern_difference",
+    "nnz_overlap",
+]
+
+
+def _coo(mat: CSR):
+    mat = mat.sort_indices()
+    rows, cols, vals = mat.to_coo()
+    keys = rows * mat.ncols + cols
+    return keys, rows, cols, vals
+
+
+def ewise_mult(a: CSR, b: CSR, op: Callable = np.multiply) -> CSR:
+    """Element-wise multiply (set *intersection* of patterns).
+
+    ``op`` may be any binary ufunc-like callable applied to the matched
+    values; the default is multiplication, matching GraphBLAS ``eWiseMult``
+    on the arithmetic semiring.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    ka, ra, ca, va = _coo(a)
+    kb, _, _, vb = _coo(b)
+    ia = np.searchsorted(kb, ka)
+    ia_clip = np.minimum(ia, kb.shape[0] - 1) if kb.shape[0] else ia
+    match = np.zeros(ka.shape[0], dtype=bool)
+    if kb.shape[0]:
+        match = kb[ia_clip] == ka
+        match &= ia < kb.shape[0]
+    rows, cols = ra[match], ca[match]
+    vals = op(va[match], vb[ia[match]])
+    return CSR.from_coo(a.shape, rows, cols, vals)
+
+
+def ewise_add(a: CSR, b: CSR, op: Callable = np.add) -> CSR:
+    """Element-wise add (set *union* of patterns).  Where both matrices have
+    an entry, ``op`` combines them; elsewhere the single value is kept."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    ra, ca, va = a.sort_indices().to_coo()
+    rb, cb, vb = b.sort_indices().to_coo()
+    if op is np.add:
+        return CSR.from_coo(
+            a.shape,
+            np.concatenate([ra, rb]),
+            np.concatenate([ca, cb]),
+            np.concatenate([va, vb]),
+        )
+    # generic op: merge by key
+    ka = ra * a.ncols + ca
+    kb = rb * a.ncols + cb
+    keys = np.union1d(ka, kb)
+    out = np.zeros(keys.shape[0], dtype=VALUE_DTYPE)
+    ia = np.searchsorted(keys, ka)
+    ib = np.searchsorted(keys, kb)
+    in_a = np.zeros(keys.shape[0], dtype=bool)
+    in_b = np.zeros(keys.shape[0], dtype=bool)
+    avals = np.zeros(keys.shape[0], dtype=VALUE_DTYPE)
+    bvals = np.zeros(keys.shape[0], dtype=VALUE_DTYPE)
+    in_a[ia] = True
+    in_b[ib] = True
+    avals[ia] = va
+    bvals[ib] = vb
+    both = in_a & in_b
+    out[both] = op(avals[both], bvals[both])
+    only_a = in_a & ~in_b
+    only_b = in_b & ~in_a
+    out[only_a] = avals[only_a]
+    out[only_b] = bvals[only_b]
+    return CSR.from_coo(a.shape, keys // a.ncols, keys % a.ncols, out)
+
+
+def mask_pattern(mat: CSR, mask: CSR, *, complement: bool = False) -> CSR:
+    """Keep entries of ``mat`` whose position is (not, if complemented) in
+    the pattern of ``mask``.  Values of the mask are ignored — only its
+    structure matters, as in the paper (Section 2)."""
+    if mat.shape != mask.shape:
+        raise ValueError(f"shape mismatch: {mat.shape} vs {mask.shape}")
+    km, rm, cm, vm = _coo(mat)
+    kk, _, _, _ = _coo(mask)
+    if kk.shape[0]:
+        pos = np.searchsorted(kk, km)
+        pos_c = np.minimum(pos, kk.shape[0] - 1)
+        inside = (kk[pos_c] == km) & (pos < kk.shape[0])
+    else:
+        inside = np.zeros(km.shape[0], dtype=bool)
+    keep = ~inside if complement else inside
+    return CSR.from_coo(mat.shape, rm[keep], cm[keep], vm[keep])
+
+
+# Alias with the GraphBLAS-flavoured name used by the apps.
+apply_mask = mask_pattern
+
+
+def reduce_sum(mat: CSR) -> float:
+    """Sum of all stored values (GraphBLAS ``reduce`` to scalar with +)."""
+    return float(mat.data.sum())
+
+
+def row_reduce(mat: CSR, op: Callable = np.add) -> np.ndarray:
+    """Reduce each row to a scalar with ``op`` (dense length-nrows output).
+    Rows with no entries reduce to 0."""
+    out = np.zeros(mat.nrows, dtype=VALUE_DTYPE)
+    if mat.nnz == 0:
+        return out
+    rows = np.repeat(np.arange(mat.nrows, dtype=INDEX_DTYPE), mat.row_nnz())
+    getattr(op, "at", np.add.at)(out, rows, mat.data)
+    return out
+
+
+def pattern_union(a: CSR, b: CSR) -> CSR:
+    """Structural union with all values 1."""
+    return ewise_add(a.pattern(), b.pattern(), op=np.maximum)
+
+
+def pattern_intersection(a: CSR, b: CSR) -> CSR:
+    """Structural intersection with all values 1."""
+    return ewise_mult(a.pattern(), b.pattern(), op=np.minimum)
+
+
+def pattern_difference(a: CSR, b: CSR) -> CSR:
+    """Entries of ``a`` not present in ``b`` (values kept from ``a``)."""
+    return mask_pattern(a, b, complement=True)
+
+
+def nnz_overlap(a: CSR, b: CSR) -> int:
+    """Number of positions stored in both matrices.  Used by benches to
+    report mask/output overlap (Figure 1's motivation)."""
+    return pattern_intersection(a, b).nnz

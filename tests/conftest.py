@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSR
+from repro.graphs import erdos_renyi, erdos_renyi_graph
+
+
+def random_csr(nrows, ncols, degree, seed=0, values="uniform") -> CSR:
+    """Random CSR matrix (ER model)."""
+    return erdos_renyi(nrows, ncols, degree, seed=seed, values=values)
+
+
+@pytest.fixture
+def small_triple():
+    """A, B, M with compatible shapes for masked SpGEMM tests."""
+    a = random_csr(40, 30, 4, seed=1)
+    b = random_csr(30, 50, 4, seed=2)
+    m = random_csr(40, 50, 6, seed=3)
+    return a, b, m
+
+
+@pytest.fixture
+def small_graph():
+    """Symmetric, zero-diagonal adjacency for app tests."""
+    return erdos_renyi_graph(80, 6, seed=4)
+
+
+def assert_csr_equal(got: CSR, want: CSR, *, tol=1e-12, msg=""):
+    """Structural + numeric equality after dropping numeric zeros."""
+    g = got.drop_zeros(1e-14)
+    w = want.drop_zeros(1e-14)
+    assert g.shape == w.shape, f"shape {g.shape} != {w.shape} {msg}"
+    assert g.nnz == w.nnz, f"nnz {g.nnz} != {w.nnz} {msg}"
+    assert np.array_equal(g.indptr, w.indptr), f"indptr differ {msg}"
+    assert np.array_equal(g.indices, w.indices), f"indices differ {msg}"
+    assert np.allclose(g.data, w.data, rtol=1e-10, atol=tol), f"data differ {msg}"

@@ -1,0 +1,149 @@
+"""Stateful property testing of the accumulator contract.
+
+A hypothesis ``RuleBasedStateMachine`` drives random interleavings of
+``set_allowed`` / ``insert`` / ``remove`` / ``reset`` against a dict-based
+model; MSA and Hash must stay bisimilar to the model (and hence to each
+other) under *every* reachable interleaving — much stronger than the
+example-based tests in test_accumulators.py.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.accumulators import (
+    ALLOWED,
+    MSA,
+    NOTALLOWED,
+    SET,
+    HashAccumulator,
+    HashComplement,
+    MSAComplement,
+)
+
+KEYS = st.integers(0, 11)
+VALS = st.floats(-8, 8, allow_nan=False, allow_infinity=False, width=32)
+
+ADD = lambda x, y: x + y  # noqa: E731
+
+
+class MaskedAccumulatorMachine(RuleBasedStateMachine):
+    """Model: `allowed` set + `values` dict keyed by allowed/inserted keys."""
+
+    def __init__(self):
+        super().__init__()
+        self.msa = MSA(12, ADD)
+        self.hash = HashAccumulator(12, ADD)
+        self.allowed = set()
+        self.values = {}
+
+    @rule(key=KEYS)
+    def allow(self, key):
+        self.msa.set_allowed(key)
+        self.hash.set_allowed(key)
+        self.allowed.add(key)
+
+    @rule(key=KEYS, val=VALS)
+    def insert(self, key, val):
+        self.msa.insert(key, float(val))
+        self.hash.insert(key, float(val))
+        if key in self.allowed:
+            self.values[key] = self.values.get(key, 0.0) + float(val)
+
+    @rule(key=KEYS)
+    def remove(self, key):
+        got_msa = self.msa.remove(key)
+        got_hash = self.hash.remove(key)
+        want = self.values.pop(key, None)
+        self.allowed.discard(key)
+        if want is None:
+            assert got_msa is None
+            assert got_hash is None
+        else:
+            assert got_msa is not None and got_hash is not None
+            assert abs(got_msa - want) < 1e-6
+            assert abs(got_hash - want) < 1e-6
+
+    @rule()
+    def reset(self):
+        self.msa.reset()
+        self.hash.reset()
+        self.allowed.clear()
+        self.values.clear()
+
+    @invariant()
+    def msa_states_consistent(self):
+        """MSA's dense state array must mirror the model exactly."""
+        for key in range(12):
+            st_ = self.msa.states[key]
+            if key in self.values:
+                assert st_ == SET
+            elif key in self.allowed:
+                assert st_ == ALLOWED
+            else:
+                assert st_ == NOTALLOWED
+
+
+MaskedAccumulatorMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+TestMaskedAccumulatorMachine = MaskedAccumulatorMachine.TestCase
+
+
+class ComplementAccumulatorMachine(RuleBasedStateMachine):
+    """Same bisimulation for the complement variants (default ALLOWED)."""
+
+    def __init__(self):
+        super().__init__()
+        self.msa = MSAComplement(12, ADD)
+        self.hash = HashComplement(12, ADD)
+        self.not_allowed = set()
+        self.values = {}
+
+    @rule(key=KEYS)
+    def forbid(self, key):
+        self.msa.set_not_allowed(key)
+        self.hash.set_not_allowed(key)
+        # contract: marking only affects keys in the default (ALLOWED)
+        # state — a SET key keeps its accumulated value (the automaton has
+        # no SET -> NOTALLOWED edge)
+        if key not in self.values:
+            self.not_allowed.add(key)
+
+    @rule(key=KEYS, val=VALS)
+    def insert(self, key, val):
+        self.msa.insert(key, float(val))
+        self.hash.insert(key, float(val))
+        if key not in self.not_allowed or key in self.values:
+            self.values[key] = self.values.get(key, 0.0) + float(val)
+
+    @rule(key=KEYS)
+    def remove(self, key):
+        got_msa = self.msa.remove(key)
+        got_hash = self.hash.remove(key)
+        want = self.values.pop(key, None)
+        # contract: REMOVE restores the default state (ALLOWED here), so a
+        # prior NOTALLOWED mark does not survive a remove of a SET key
+        if want is not None:
+            self.not_allowed.discard(key)
+        if want is None:
+            assert got_msa is None
+            assert got_hash is None
+        else:
+            assert got_msa is not None and got_hash is not None
+            assert abs(got_msa - want) < 1e-6
+            assert abs(got_hash - want) < 1e-6
+
+    @rule()
+    def reset(self):
+        self.msa.reset()
+        self.hash.reset()
+        self.not_allowed.clear()
+        self.values.clear()
+
+
+ComplementAccumulatorMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+TestComplementAccumulatorMachine = ComplementAccumulatorMachine.TestCase

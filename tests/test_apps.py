@@ -1,0 +1,302 @@
+"""Application tests: Triangle Counting, k-truss, Betweenness Centrality,
+BFS — validated against networkx oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import (
+    betweenness_centrality,
+    ktruss,
+    multi_source_bfs,
+    triangle_count,
+    triangle_count_detail,
+)
+from repro.core import ALGOS, supports_complement
+from repro.graphs import erdos_renyi_graph, rmat
+from repro.machine import OpCounter
+from repro.sparse import CSR
+
+COMPLEMENT_ALGOS = [a for a in ALGOS if supports_complement(a)]
+
+
+def _nx(g: CSR) -> nx.Graph:
+    return nx.from_scipy_sparse_array(g.to_scipy())
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(120, 7, seed=42)
+
+
+@pytest.fixture(scope="module")
+def graph_nx(graph):
+    return _nx(graph)
+
+
+class TestTriangleCounting:
+    def test_matches_networkx(self, graph, graph_nx):
+        want = sum(nx.triangles(graph_nx).values()) // 3
+        assert triangle_count(graph) == want
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_all_algorithms_agree(self, algo, graph, graph_nx):
+        want = sum(nx.triangles(graph_nx).values()) // 3
+        assert triangle_count(graph, algo=algo) == want
+
+    def test_relabel_invariance(self, graph):
+        assert triangle_count(graph, relabel=True) == triangle_count(
+            graph, relabel=False
+        )
+
+    def test_permutation_invariance(self, graph):
+        perm = np.random.default_rng(1).permutation(graph.nrows)
+        assert triangle_count(graph.permute(perm)) == triangle_count(graph)
+
+    def test_triangle_free_graph(self):
+        # star graph has no triangles
+        n = 20
+        rows = np.zeros(n - 1, dtype=np.int64)
+        cols = np.arange(1, n, dtype=np.int64)
+        g = CSR.from_coo(
+            (n, n),
+            np.concatenate([rows, cols]),
+            np.concatenate([cols, rows]),
+            np.ones(2 * (n - 1)),
+        )
+        assert triangle_count(g) == 0
+
+    def test_complete_graph(self):
+        n = 10
+        g = CSR.from_dense(np.ones((n, n)) - np.eye(n))
+        assert triangle_count(g) == n * (n - 1) * (n - 2) // 6
+
+    def test_detail_counters(self, graph):
+        res = triangle_count_detail(graph)
+        assert res.triangles == triangle_count(graph)
+        assert res.counter.flops > 0
+        assert res.spgemm_seconds >= 0
+        assert res.l_nnz == graph.nnz // 2
+
+    def test_two_phase_same_count(self, graph):
+        assert triangle_count(graph, phases=2) == triangle_count(graph, phases=1)
+
+
+class TestKTruss:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_matches_networkx(self, k, graph, graph_nx):
+        res = ktruss(graph, k)
+        want = nx.k_truss(graph_nx, k)
+        assert res.truss.nnz // 2 == want.number_of_edges()
+
+    def test_truss_is_subgraph(self, graph):
+        res = ktruss(graph, 4)
+        from repro.sparse import pattern_difference
+
+        extra = pattern_difference(res.truss, graph.pattern())
+        assert extra.nnz == 0
+
+    def test_truss_edges_have_support(self, graph):
+        """Every edge of the k-truss is in >= k-2 triangles of the truss."""
+        k = 4
+        res = ktruss(graph, k)
+        t = res.truss
+        from repro.core import masked_spgemm
+        from repro.semiring import PLUS_PAIR
+
+        s = masked_spgemm(t, t, t, semiring=PLUS_PAIR)
+        assert s.nnz == t.nnz
+        assert np.all(s.data >= k - 2)
+
+    def test_monotone_in_k(self, graph):
+        e3 = ktruss(graph, 3).truss.nnz
+        e4 = ktruss(graph, 4).truss.nnz
+        e5 = ktruss(graph, 5).truss.nnz
+        assert e3 >= e4 >= e5
+
+    def test_k3_keeps_triangle_edges(self, graph, graph_nx):
+        res = ktruss(graph, 3)
+        want = nx.k_truss(graph_nx, 3)
+        assert res.truss.nnz // 2 == want.number_of_edges()
+
+    @pytest.mark.parametrize("algo", ["hash", "mca", "inner"])
+    def test_algorithms_agree(self, algo, graph):
+        base = ktruss(graph, 5).truss
+        got = ktruss(graph, 5, algo=algo).truss
+        assert got.equals(base)
+
+    def test_flops_and_iterations_reported(self, graph):
+        res = ktruss(graph, 5)
+        assert res.iterations >= 1
+        assert res.flops > 0
+        assert len(res.edges_per_iter) == res.iterations
+        # edge count must be non-increasing over iterations
+        assert all(
+            a >= b for a, b in zip(res.edges_per_iter, res.edges_per_iter[1:])
+        )
+
+    def test_k_validation(self, graph):
+        with pytest.raises(ValueError, match="k must be"):
+            ktruss(graph, 2)
+
+    def test_empty_graph(self):
+        res = ktruss(CSR.empty((10, 10)), 5)
+        assert res.truss.nnz == 0
+
+
+class TestBetweenness:
+    def test_matches_networkx_all_sources(self, graph, graph_nx):
+        res = betweenness_centrality(graph, sources=range(graph.nrows))
+        want = nx.betweenness_centrality(graph_nx, normalized=False)
+        ours = res.centrality / 2.0  # undirected halving convention
+        for v in range(graph.nrows):
+            assert ours[v] == pytest.approx(want[v], abs=1e-8)
+
+    @pytest.mark.parametrize("algo", COMPLEMENT_ALGOS)
+    def test_algorithms_agree(self, algo, graph):
+        base = betweenness_centrality(graph, sources=range(30), algo="msa")
+        got = betweenness_centrality(graph, sources=range(30), algo=algo)
+        assert np.allclose(got.centrality, base.centrality)
+
+    def test_subset_batch_partial_sums(self, graph, graph_nx):
+        """Batch BC equals the Brandes partial sum over the batch sources."""
+        sources = [3, 17, 55]
+        res = betweenness_centrality(graph, sources=sources)
+        want = np.zeros(graph.nrows)
+        for s in sources:
+            # per-source Brandes dependency via networkx shortest paths
+            bc_s = nx.betweenness_centrality_subset(
+                graph_nx, sources=[s], targets=list(graph_nx), normalized=False
+            )
+            for v, x in bc_s.items():
+                want[v] += x
+        # betweenness_centrality_subset double-counts like ours? networkx
+        # subset variant counts each (s, t) pair once per direction choice;
+        # compare our directed-sum halved
+        assert np.allclose(res.centrality / 2.0, want, atol=1e-8)
+
+    def test_random_batch_runs(self, graph):
+        res = betweenness_centrality(graph, batch_size=16, seed=3)
+        assert res.centrality.shape == (graph.nrows,)
+        assert np.all(res.centrality >= -1e-12)
+        assert res.teps > 0
+        assert res.depth >= 1
+
+    def test_rejects_non_complement_algos(self, graph):
+        for algo in ("inner", "mca"):
+            with pytest.raises(ValueError, match="complement"):
+                betweenness_centrality(graph, sources=[0], algo=algo)
+
+    def test_path_graph_exact(self):
+        n = 6
+        idx = np.arange(n - 1)
+        g = CSR.from_coo(
+            (n, n),
+            np.concatenate([idx, idx + 1]),
+            np.concatenate([idx + 1, idx]),
+            np.ones(2 * (n - 1)),
+        )
+        res = betweenness_centrality(g, sources=range(n))
+        # path graph: BC(v) = 2 * (i)(n-1-i) for position i (directed sum)
+        for i in range(n):
+            assert res.centrality[i] == pytest.approx(2.0 * i * (n - 1 - i))
+
+    def test_counter_populated(self, graph):
+        c = OpCounter()
+        betweenness_centrality(graph, sources=range(10), counter=c)
+        assert c.flops > 0
+
+
+class TestBFS:
+    def test_matches_networkx(self, graph, graph_nx):
+        sources = [0, 7, 31]
+        res = multi_source_bfs(graph, sources)
+        for q, s in enumerate(sources):
+            want = nx.single_source_shortest_path_length(graph_nx, s)
+            for v in range(graph.nrows):
+                assert res.levels[q, v] == want.get(v, -1)
+
+    def test_source_level_zero(self, graph):
+        res = multi_source_bfs(graph, [5])
+        assert res.levels[0, 5] == 0
+
+    def test_disconnected_unreached(self):
+        # two disjoint edges
+        g = CSR.from_coo((4, 4), [0, 1, 2, 3], [1, 0, 3, 2], np.ones(4))
+        res = multi_source_bfs(g, [0])
+        assert res.levels[0, 1] == 1
+        assert res.levels[0, 2] == -1
+        assert res.levels[0, 3] == -1
+
+    @pytest.mark.parametrize("algo", COMPLEMENT_ALGOS)
+    def test_algorithms_agree(self, algo, graph):
+        base = multi_source_bfs(graph, [2, 9], algo="msa")
+        got = multi_source_bfs(graph, [2, 9], algo=algo)
+        assert np.array_equal(base.levels, got.levels)
+
+    def test_rmat_bfs_depth_small(self):
+        g = rmat(8, seed=1)
+        res = multi_source_bfs(g, [int(np.argmax(g.row_nnz()))])
+        reached = (res.levels[0] >= 0).sum()
+        assert reached > 1
+        assert res.depth < 20
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self, graph, graph_nx):
+        from repro.apps import connected_components
+
+        res = connected_components(graph)
+        assert res.n_components == nx.number_connected_components(graph_nx)
+        # vertices in the same nx component share our label and vice versa
+        for comp in nx.connected_components(graph_nx):
+            labels = {int(res.labels[v]) for v in comp}
+            assert len(labels) == 1
+
+    def test_disjoint_edges(self):
+        g = CSR.from_coo((6, 6), [0, 1, 2, 3], [1, 0, 3, 2], np.ones(4))
+        from repro.apps import connected_components
+
+        res = connected_components(g)
+        # {0,1}, {2,3} plus isolated singletons {4}, {5}
+        assert res.n_components == 4
+        assert res.labels[1] == 0 and res.labels[3] == 2
+        assert res.labels[4] == 4 and res.labels[5] == 5
+
+    def test_singletons_counted(self):
+        from repro.apps import connected_components
+
+        g = CSR.empty((5, 5))
+        res = connected_components(g)
+        assert res.n_components == 5
+        assert np.array_equal(res.labels, np.arange(5))
+
+    def test_labels_are_component_minima(self, graph):
+        from repro.apps import connected_components
+
+        res = connected_components(graph)
+        for v in range(graph.nrows):
+            assert res.labels[v] <= v
+
+    def test_path_graph_one_component(self):
+        from repro.apps import connected_components
+
+        n = 50
+        idx = np.arange(n - 1)
+        g = CSR.from_coo(
+            (n, n),
+            np.concatenate([idx, idx + 1]),
+            np.concatenate([idx + 1, idx]),
+            np.ones(2 * (n - 1)),
+        )
+        res = connected_components(g)
+        assert res.n_components == 1
+        assert (res.labels == 0).all()
+        # label propagation needs ~diameter rounds on a path
+        assert res.rounds >= n // 2
+
+    def test_rejects_non_square(self):
+        from repro.apps import connected_components
+
+        with pytest.raises(ValueError, match="square"):
+            connected_components(CSR.empty((3, 4)))

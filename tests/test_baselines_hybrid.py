@@ -1,0 +1,135 @@
+"""Tests for the SS:GB baseline stand-ins and the hybrid (future-work)
+dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import scipy_masked_spgemm, scipy_spgemm, ssgb_dot, ssgb_saxpy
+from repro.core import classify_rows, masked_spgemm, masked_spgemm_hybrid
+from repro.graphs import erdos_renyi
+from repro.machine import HASWELL, KNL, OpCounter
+from repro.semiring import PLUS_PAIR
+from repro.sparse import CSR
+
+from .conftest import assert_csr_equal, random_csr
+
+
+class TestScipyOracle:
+    def test_plain(self, small_triple):
+        a, b, _ = small_triple
+        want = CSR.from_scipy((a.to_scipy() @ b.to_scipy()).tocsr())
+        assert_csr_equal(scipy_spgemm(a, b), want)
+
+    def test_masked_and_complement_partition(self, small_triple):
+        a, b, m = small_triple
+        inside = scipy_masked_spgemm(a, b, m)
+        outside = scipy_masked_spgemm(a, b, m, complement=True)
+        full = scipy_spgemm(a, b).drop_zeros(1e-14)
+        assert inside.nnz + outside.nnz == full.nnz
+
+
+class TestSSGBBaselines:
+    @pytest.mark.parametrize("fn", [ssgb_dot, ssgb_saxpy], ids=["dot", "saxpy"])
+    def test_plain_mask(self, fn, small_triple):
+        a, b, m = small_triple
+        assert_csr_equal(fn(a, b, m), scipy_masked_spgemm(a, b, m))
+
+    @pytest.mark.parametrize("fn", [ssgb_dot, ssgb_saxpy], ids=["dot", "saxpy"])
+    def test_complement(self, fn, small_triple):
+        a, b, m = small_triple
+        assert_csr_equal(
+            fn(a, b, m, complement=True),
+            scipy_masked_spgemm(a, b, m, complement=True),
+        )
+
+    def test_agree_with_our_kernels(self, small_triple):
+        a, b, m = small_triple
+        ours = masked_spgemm(a, b, m, algo="msa")
+        assert_csr_equal(ssgb_dot(a, b, m), ours)
+        assert_csr_equal(ssgb_saxpy(a, b, m), ours)
+
+    def test_saxpy_pays_full_flops(self, small_triple):
+        """SS:SAXPY's defining behaviour: it computes every product, mask or
+        no mask — our masked kernels compute only the useful ones."""
+        from repro.machine import total_flops
+
+        a, b, m = small_triple
+        c_saxpy, c_ours = OpCounter(), OpCounter()
+        ssgb_saxpy(a, b, m, counter=c_saxpy)
+        masked_spgemm(a, b, m, algo="msa", counter=c_ours, impl="reference")
+        assert c_saxpy.flops == total_flops(a, b)
+        assert c_ours.flops < c_saxpy.flops
+
+    def test_semiring_support(self, small_triple):
+        a, b, m = small_triple
+        want = masked_spgemm(a, b, m, algo="msa", semiring=PLUS_PAIR)
+        assert_csr_equal(ssgb_saxpy(a, b, m, semiring=PLUS_PAIR), want)
+        assert_csr_equal(ssgb_dot(a, b, m, semiring=PLUS_PAIR), want)
+
+
+class TestHybrid:
+    def test_matches_oracle(self, small_triple):
+        a, b, m = small_triple
+        assert_csr_equal(masked_spgemm_hybrid(a, b, m), scipy_masked_spgemm(a, b, m))
+
+    def test_classification_covers_all_rows(self, small_triple):
+        a, b, m = small_triple
+        classes = classify_rows(a, b, m)
+        all_rows = np.concatenate(list(classes.values()))
+        assert sorted(all_rows.tolist()) == list(range(a.nrows))
+
+    def test_classification_regimes(self):
+        n = 256
+        # dense inputs + sparse mask rows -> inner rows exist
+        a = erdos_renyi(n, n, 24, seed=1)
+        b = erdos_renyi(n, n, 24, seed=2)
+        m = erdos_renyi(n, n, 1, seed=3)
+        classes = classify_rows(a, b, m)
+        assert "inner" in classes and classes["inner"].size > n // 2
+        # sparse inputs + dense mask -> mca rows exist
+        a2 = erdos_renyi(n, n, 1, seed=4)
+        m2 = erdos_renyi(n, n, 32, seed=5)
+        classes2 = classify_rows(a2, a2, m2)
+        assert "mca" in classes2 and classes2["mca"].size > 0
+
+    def test_machine_dependent_accumulator(self):
+        # MSA when the dense accumulator fits the private cache, hash when not
+        n_small, n_big = 256, 1 << 18
+        a = erdos_renyi(n_small, n_small, 4, seed=6)
+        m = erdos_renyi(n_small, n_small, 4, seed=7)
+        assert "msa" in classify_rows(a, a, m, HASWELL)
+        a2 = erdos_renyi(n_big, n_big, 1, seed=8)
+        m2 = erdos_renyi(n_big, n_big, 1, seed=9)
+        classes = classify_rows(a2, a2, m2, HASWELL)
+        assert "hash" in classes or "msa" not in classes
+
+    def test_mixed_density_correctness(self):
+        """A matrix with wildly different row regimes still multiplies
+        correctly through the per-row dispatch."""
+        n = 200
+        rng = np.random.default_rng(0)
+        rows, cols = [], []
+        # half the rows dense, half nearly empty
+        for i in range(n // 2):
+            cs = rng.choice(n, size=30, replace=False)
+            rows += [i] * 30
+            cols += cs.tolist()
+        for i in range(n // 2, n):
+            rows.append(i)
+            cols.append(int(rng.integers(n)))
+        a = CSR.from_coo((n, n), np.array(rows), np.array(cols),
+                         rng.random(len(rows)))
+        m = erdos_renyi(n, n, 8, seed=10)
+        assert_csr_equal(masked_spgemm_hybrid(a, a, m), scipy_masked_spgemm(a, a, m))
+
+    def test_thresholds_exposed(self, small_triple):
+        a, b, m = small_triple
+        r1 = masked_spgemm_hybrid(a, b, m, pull_ratio=1.0, push_ratio=1.0)
+        r2 = masked_spgemm_hybrid(a, b, m, pull_ratio=100.0, push_ratio=100.0)
+        assert_csr_equal(r1, r2)  # thresholds change routing, not results
+
+    def test_empty_inputs(self):
+        out = masked_spgemm_hybrid(
+            CSR.empty((5, 5)), CSR.empty((5, 5)), CSR.empty((5, 5))
+        )
+        assert out.nnz == 0

@@ -1,0 +1,226 @@
+"""Tests for the extension applications: Markov clustering and tree-based
+extreme multi-label inference (the other masked-SpGEMM uses the paper's
+intro and Section 2 cite)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    beam_search_inference,
+    exhaustive_inference,
+    markov_clustering,
+    random_label_tree,
+)
+from repro.apps.tree_inference import LabelTree
+from repro.graphs import block_diagonal_dense, erdos_renyi, small_world
+from repro.machine import OpCounter
+from repro.sparse import CSR
+
+
+class TestMarkovClustering:
+    def test_finds_planted_blocks(self):
+        g = block_diagonal_dense(4, 12, seed=1, fill=0.8)
+        res = markov_clustering(g)
+        assert res.converged
+        assert len(res.clusters) == 4
+        for c in res.clusters:
+            # every cluster stays inside one planted block
+            assert len(set(int(v) // 12 for v in c)) == 1
+
+    def test_labels_partition_vertices(self):
+        g = block_diagonal_dense(3, 10, seed=2, fill=0.7)
+        res = markov_clustering(g)
+        assert res.labels.shape == (30,)
+        covered = np.concatenate(res.clusters)
+        assert sorted(covered.tolist()) == list(range(30))
+
+    def test_selective_expansion_agrees_on_blocks(self):
+        g = block_diagonal_dense(4, 10, seed=3, fill=0.8)
+        exact = markov_clustering(g)
+        sel = markov_clustering(g, selective_expansion=True)
+        assert len(sel.clusters) == len(exact.clusters)
+        # same partition up to relabeling
+        mapping = {}
+        for v in range(g.nrows):
+            key = exact.labels[v]
+            mapping.setdefault(key, sel.labels[v])
+            assert mapping[key] == sel.labels[v]
+
+    def test_disconnected_components_stay_separate(self):
+        # two disjoint triangles
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+        rows = [u for u, v in edges] + [v for u, v in edges]
+        cols = [v for u, v in edges] + [u for u, v in edges]
+        g = CSR.from_coo((6, 6), np.array(rows), np.array(cols),
+                         np.ones(len(rows)))
+        res = markov_clustering(g)
+        assert res.labels[0] == res.labels[1] == res.labels[2]
+        assert res.labels[3] == res.labels[4] == res.labels[5]
+        assert res.labels[0] != res.labels[3]
+
+    def test_inflation_sharpens(self):
+        """Higher inflation produces at least as many clusters."""
+        g = small_world(60, k=6, p=0.1, seed=4)
+        lo = markov_clustering(g, inflation=1.3, max_iters=30)
+        hi = markov_clustering(g, inflation=3.0, max_iters=30)
+        assert len(hi.clusters) >= len(lo.clusters)
+
+    def test_flops_recorded(self):
+        g = block_diagonal_dense(2, 8, seed=5)
+        res = markov_clustering(g)
+        assert res.flops > 0
+        assert res.iterations >= 1
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            markov_clustering(CSR.empty((3, 4)))
+
+
+class TestLabelTree:
+    def test_random_tree_shape(self):
+        tree = random_label_tree(100, branching=3, depth=4, seed=1)
+        assert tree.depth == 4
+        assert [lvl.nrows for lvl in tree.levels] == [3, 9, 27, 81]
+        assert tree.n_labels == 81
+        tree.validate()
+
+    def test_validate_rejects_bad_children(self):
+        tree = random_label_tree(50, branching=2, depth=2, seed=2)
+        tree.children[0][0] = np.array([0])  # drops a child
+        with pytest.raises(ValueError, match="partition"):
+            tree.validate()
+
+    def test_validate_rejects_length_mismatch(self):
+        tree = random_label_tree(50, branching=2, depth=3, seed=3)
+        bad = LabelTree(tree.levels, tree.children[:1])
+        with pytest.raises(ValueError, match="consecutive"):
+            bad.validate()
+
+
+class TestTreeInference:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        tree = random_label_tree(300, branching=4, depth=3, seed=7)
+        x = erdos_renyi(12, 300, 20, seed=8)
+        return tree, x
+
+    def test_full_beam_equals_exhaustive(self, setup):
+        tree, x = setup
+        full = beam_search_inference(tree, x, beam_width=tree.n_labels, top_k=4)
+        ex = exhaustive_inference(tree, x, top_k=4)
+        assert np.allclose(full.scores, ex.scores)
+
+    @pytest.mark.parametrize("algo", ["msa", "hash", "mca"])
+    def test_algorithms_agree(self, algo, setup):
+        tree, x = setup
+        base = beam_search_inference(tree, x, beam_width=3, top_k=3, algo="msa")
+        got = beam_search_inference(tree, x, beam_width=3, top_k=3, algo=algo)
+        assert np.allclose(got.scores, base.scores)
+        assert np.array_equal(got.labels, base.labels)
+
+    def test_narrow_beam_saves_flops(self, setup):
+        tree, x = setup
+        narrow = beam_search_inference(tree, x, beam_width=2, top_k=3)
+        wide = beam_search_inference(tree, x, beam_width=16, top_k=3)
+        assert narrow.masked_flops < wide.masked_flops
+
+    def test_exhaustive_bounds_every_beam(self, setup):
+        """The exhaustive optimum upper-bounds any beam's best score.
+        (Note: beam search is NOT monotone in beam width — a wider beam can
+        evict a narrow beam's winning path — so only the exhaustive bound
+        is a real invariant.)"""
+        tree, x = setup
+        ex = exhaustive_inference(tree, x, top_k=1)
+        for width in (1, 2, 4, 16):
+            res = beam_search_inference(tree, x, beam_width=width, top_k=1)
+            assert np.all(res.scores[:, 0] <= ex.scores[:, 0] + 1e-12), width
+
+    def test_recall_reasonable_at_small_beam(self, setup):
+        tree, x = setup
+        ex = exhaustive_inference(tree, x, top_k=3)
+        res = beam_search_inference(tree, x, beam_width=4, top_k=3)
+        recall = np.isin(res.labels, ex.labels).mean()
+        assert recall > 0.5
+
+    def test_labels_in_range(self, setup):
+        tree, x = setup
+        res = beam_search_inference(tree, x, beam_width=2, top_k=5)
+        valid = res.labels[res.labels >= 0]
+        assert valid.max(initial=0) < tree.n_labels
+
+
+class TestSparseDNN:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.apps import random_sparse_dnn
+
+        net = random_sparse_dnn(neurons=400, depth=3, fan_in=10, seed=3)
+        x = erdos_renyi(12, 400, 20, seed=4)
+        return net, x
+
+    def test_network_shape(self, setup):
+        net, _ = setup
+        assert net.depth == 3
+        assert net.neurons == 400
+        net.validate()
+
+    def test_validate_rejects_mismatched(self):
+        from repro.apps import SparseDNN
+        from repro.sparse import CSR
+
+        with pytest.raises(ValueError, match="bias"):
+            SparseDNN([CSR.empty((4, 4))], []).validate()
+        with pytest.raises(ValueError, match="square"):
+            SparseDNN([CSR.empty((4, 5))], [0.0]).validate()
+
+    def test_unbounded_topk_equals_exact(self, setup):
+        from repro.apps import sparse_dnn_forward, sparse_dnn_forward_topk
+
+        net, x = setup
+        exact = sparse_dnn_forward(net, x)
+        full = sparse_dnn_forward_topk(net, x, top_k=10**9)
+        assert full.activations.drop_zeros(1e-12).equals(
+            exact.activations.drop_zeros(1e-12)
+        )
+
+    def test_relu_kills_negatives(self, setup):
+        from repro.apps import sparse_dnn_forward
+
+        net, x = setup
+        res = sparse_dnn_forward(net, x)
+        assert np.all(res.activations.data >= 0)
+
+    def test_budget_saves_flops(self, setup):
+        from repro.apps import sparse_dnn_forward, sparse_dnn_forward_topk
+
+        net, x = setup
+        exact = sparse_dnn_forward(net, x)
+        budget = sparse_dnn_forward_topk(net, x, top_k=8)
+        assert budget.flops < exact.counter.flops
+        # per-sample activation count bounded by the budget path
+        assert max(budget.activations.row_nnz(), default=0) <= 8 * 10  # fan-out bound
+
+    def test_budget_monotone_in_k(self, setup):
+        from repro.apps import sparse_dnn_forward_topk
+
+        net, x = setup
+        f_small = sparse_dnn_forward_topk(net, x, top_k=4).flops
+        f_big = sparse_dnn_forward_topk(net, x, top_k=32).flops
+        assert f_small <= f_big
+
+    @pytest.mark.parametrize("algo", ["msa", "hash", "mca"])
+    def test_algorithms_agree(self, algo, setup):
+        from repro.apps import sparse_dnn_forward_topk
+
+        net, x = setup
+        base = sparse_dnn_forward_topk(net, x, top_k=8, algo="msa")
+        got = sparse_dnn_forward_topk(net, x, top_k=8, algo=algo)
+        assert got.activations.equals(base.activations)
+
+    def test_empty_input(self, setup):
+        from repro.apps import sparse_dnn_forward
+        from repro.sparse import CSR
+
+        net, _ = setup
+        res = sparse_dnn_forward(net, CSR.empty((4, 400)))
+        assert res.activations.nnz == 0

@@ -1,0 +1,259 @@
+"""Tests for the GraphBLAS-flavoured interface."""
+
+import numpy as np
+import pytest
+
+import repro.graphblas as gb
+from repro.core import ALGOS, supports_complement
+from repro.semiring import MIN_PLUS, PLUS_PAIR
+from repro.graphs import erdos_renyi, erdos_renyi_graph
+
+from .conftest import random_csr
+
+
+@pytest.fixture
+def abm():
+    a = gb.Matrix.from_csr(random_csr(30, 25, 4, seed=1))
+    b = gb.Matrix.from_csr(random_csr(25, 35, 4, seed=2))
+    m = gb.Matrix.from_csr(random_csr(30, 35, 6, seed=3))
+    return a, b, m
+
+
+class TestMatrix:
+    def test_construction_paths_agree(self):
+        dense = np.zeros((4, 5))
+        dense[1, 2] = 3.0
+        dense[3, 0] = -1.0
+        m1 = gb.Matrix.from_dense(dense)
+        m2 = gb.Matrix.from_coo(4, 5, [1, 3], [2, 0], [3.0, -1.0])
+        assert np.allclose(m1.to_dense(), m2.to_dense())
+        assert m1.nvals == 2
+
+    def test_new_is_empty(self):
+        m = gb.Matrix.new(3, 4)
+        assert m.nvals == 0
+        assert m.shape == (3, 4)
+
+    def test_getitem_implicit_zero(self):
+        m = gb.Matrix.from_coo(3, 3, [0], [1], [5.0])
+        assert m[0, 1] == 5.0
+        assert m[0, 0] is None
+
+    def test_dup_is_independent(self):
+        m = gb.Matrix.from_coo(2, 2, [0], [0], [1.0])
+        d = m.dup()
+        d.csr.data[0] = 9.0
+        assert m[0, 0] == 1.0
+
+    def test_apply(self):
+        m = gb.Matrix.from_coo(2, 2, [0, 1], [0, 1], [2.0, -3.0])
+        sq = m.apply(lambda x: x * x)
+        assert sq[0, 0] == 4.0
+        assert sq[1, 1] == 9.0
+
+    def test_select_offdiagonal(self):
+        m = gb.Matrix.from_dense(np.ones((3, 3)))
+        off = m.select(lambda r, c, v: r != c)
+        assert off.nvals == 6
+
+    def test_reduce(self):
+        m = gb.Matrix.from_dense(np.arange(6).reshape(2, 3).astype(float))
+        assert m.reduce_scalar() == 15.0
+        rows = m.reduce_rows()
+        assert np.allclose(rows.to_dense(), [3.0, 12.0])
+
+    def test_extract_row(self):
+        m = gb.Matrix.from_coo(3, 4, [1, 1], [0, 3], [2.0, 7.0])
+        v = m.extract_row(1)
+        assert v.size == 4
+        assert v[0] == 2.0 and v[3] == 7.0
+
+    def test_transpose_pattern(self):
+        m = gb.Matrix.from_coo(2, 3, [0], [2], [4.0])
+        t = m.transpose()
+        assert t.shape == (3, 2)
+        assert t[2, 0] == 4.0
+        assert m.pattern()[0, 2] == 1.0
+
+
+class TestVector:
+    def test_roundtrip(self):
+        v = gb.Vector.from_dense(np.array([0.0, 2.0, 0.0, 3.0]))
+        assert v.nvals == 2
+        assert v[1] == 2.0 and v[0] is None
+        assert np.allclose(v.to_dense(), [0, 2, 0, 3])
+
+    def test_pattern_bool(self):
+        v = gb.Vector.from_coo(5, [1, 4], [1.0, 1.0])
+        assert np.array_equal(v.pattern_bool(), [False, True, False, False, True])
+
+    def test_reduce(self):
+        v = gb.Vector.from_coo(5, [0, 2], [1.5, 2.5])
+        assert v.reduce_scalar() == 4.0
+
+    def test_rejects_multirow_storage(self):
+        with pytest.raises(ValueError):
+            gb.Vector(random_csr(2, 3, 1, seed=4))
+
+
+class TestMxm:
+    def test_unmasked_matches_dense(self, abm):
+        a, b, _ = abm
+        c = gb.mxm(a, b)
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    @pytest.mark.parametrize("algo", list(ALGOS) + ["hybrid"])
+    def test_masked_all_algorithms(self, algo, abm):
+        a, b, m = abm
+        c = gb.mxm(a, b, mask=m, desc=gb.Descriptor(algo=algo))
+        want = (a.to_dense() @ b.to_dense()) * (m.to_dense() != 0)
+        assert np.allclose(c.to_dense(), want)
+
+    @pytest.mark.parametrize("algo", [x for x in ALGOS if supports_complement(x)])
+    def test_complement(self, algo, abm):
+        a, b, m = abm
+        desc = gb.Descriptor(mask_complement=True, algo=algo)
+        c = gb.mxm(a, b, mask=m, desc=desc)
+        want = (a.to_dense() @ b.to_dense()) * (m.to_dense() == 0)
+        assert np.allclose(c.to_dense(), want)
+
+    def test_semiring(self, abm):
+        a, b, m = abm
+        c = gb.mxm(a, b, mask=m, semiring=PLUS_PAIR)
+        pa = (a.to_dense() != 0).astype(float)
+        pb = (b.to_dense() != 0).astype(float)
+        want = (pa @ pb) * (m.to_dense() != 0)
+        assert np.allclose(c.to_dense(), want)
+
+    def test_accumulate_without_replace(self, abm):
+        a, b, m = abm
+        base = gb.Matrix.from_coo(30, 35, [0, 29], [0, 34], [100.0, 200.0])
+        c = gb.mxm(a, b, mask=m, out=base, desc=gb.Descriptor(replace=False))
+        # untouched positions of `base` survive
+        got = c.to_dense()
+        want = (a.to_dense() @ b.to_dense()) * (m.to_dense() != 0)
+        overlap = want[0, 0] != 0
+        if not overlap:
+            assert got[0, 0] == 100.0
+        mask_zero = want == 0
+        # everywhere the product wrote nothing, base's values remain
+        keep = np.zeros_like(got, dtype=bool)
+        keep[0, 0] = keep[29, 34] = True
+        assert np.allclose(got[~keep & ~mask_zero], want[~keep & ~mask_zero])
+
+    def test_hybrid_rejects_complement(self, abm):
+        a, b, m = abm
+        with pytest.raises(ValueError, match="complement"):
+            gb.mxm(a, b, mask=m,
+                   desc=gb.Descriptor(algo="hybrid", mask_complement=True))
+
+    def test_2p_descriptor(self, abm):
+        a, b, m = abm
+        c1 = gb.mxm(a, b, mask=m, desc=gb.Descriptor(phases=1))
+        c2 = gb.mxm(a, b, mask=m, desc=gb.Descriptor(phases=2))
+        assert np.allclose(c1.to_dense(), c2.to_dense())
+
+
+class TestVxmMxv:
+    def test_vxm_matches_dense(self):
+        a = gb.Matrix.from_csr(random_csr(20, 25, 4, seed=5))
+        v = gb.Vector.from_dense(np.arange(20).astype(float) * (np.arange(20) % 3 == 0))
+        w = gb.vxm(v, a)
+        assert np.allclose(w.to_dense(), v.to_dense() @ a.to_dense())
+
+    def test_vxm_masked(self):
+        a = gb.Matrix.from_csr(random_csr(20, 25, 4, seed=6))
+        v = gb.Vector.from_coo(20, [0, 5], [1.0, 2.0])
+        m = gb.Vector.from_coo(25, np.arange(0, 25, 2), None)
+        w = gb.vxm(v, a, mask=m)
+        want = (v.to_dense() @ a.to_dense()) * m.pattern_bool()
+        assert np.allclose(w.to_dense(), want)
+
+    def test_vxm_complement_mask(self):
+        a = gb.Matrix.from_csr(random_csr(20, 25, 4, seed=7))
+        v = gb.Vector.from_coo(20, [3], [1.0])
+        m = gb.Vector.from_coo(25, np.arange(0, 25, 2), None)
+        w = gb.vxm(v, a, mask=m, desc=gb.Descriptor(mask_complement=True))
+        want = (v.to_dense() @ a.to_dense()) * ~m.pattern_bool()
+        assert np.allclose(w.to_dense(), want)
+
+    @pytest.mark.parametrize("algo", ["msa", "inner", "hybrid"])
+    def test_vxm_direction_dispatch(self, algo):
+        a = gb.Matrix.from_csr(random_csr(30, 30, 5, seed=8))
+        v = gb.Vector.from_coo(30, [1, 2, 3], [1.0, 1.0, 1.0])
+        m = gb.Vector.from_coo(30, [4, 5], None)
+        w = gb.vxm(v, a, mask=m, desc=gb.Descriptor(algo=algo))
+        want = (v.to_dense() @ a.to_dense()) * m.pattern_bool()
+        assert np.allclose(w.to_dense(), want)
+
+    def test_mxv(self):
+        a = gb.Matrix.from_csr(random_csr(20, 25, 4, seed=9))
+        v = gb.Vector.from_dense((np.arange(25) < 6).astype(float))
+        w = gb.mxv(a, v)
+        assert np.allclose(w.to_dense(), a.to_dense() @ v.to_dense())
+
+    def test_min_plus_sssp_step(self):
+        """One min-plus relaxation step == one round of Bellman-Ford."""
+        g = erdos_renyi_graph(40, 4, seed=10)
+        a = gb.Matrix.from_csr(g)
+        dist = np.full(40, np.inf)
+        dist[0] = 0.0
+        v = gb.Vector.from_coo(40, [0], [0.0])
+        w = gb.vxm(v, a, semiring=MIN_PLUS)
+        dense = g.to_dense()
+        want = {
+            j: dense[0, j] for j in range(40) if dense[0, j] != 0
+        }
+        for j, d in want.items():
+            assert w[j] == pytest.approx(d)
+
+
+class TestTriangleCountViaGB:
+    def test_tc_pipeline(self):
+        """The paper's TC pipeline expressed in the GraphBLAS interface."""
+        from repro.apps import triangle_count
+
+        g = erdos_renyi_graph(80, 6, seed=11)
+        a = gb.Matrix.from_csr(g)
+        low = gb.Matrix.from_csr(g.pattern().tril(-1))
+        c = gb.mxm(low, low, mask=low, semiring=PLUS_PAIR,
+                   desc=gb.Descriptor(algo="mca"))
+        assert int(c.reduce_scalar()) == triangle_count(g, relabel=False)
+
+
+class TestVectorEwiseOps:
+    def test_ewise_mult_intersection(self):
+        v1 = gb.Vector.from_coo(6, [0, 2, 4], [2.0, 3.0, 4.0])
+        v2 = gb.Vector.from_coo(6, [2, 4, 5], [10.0, 0.5, 7.0])
+        out = v1.ewise_mult(v2)
+        assert out.nvals == 2
+        assert out[2] == 30.0
+        assert out[4] == 2.0
+
+    def test_ewise_add_union(self):
+        v1 = gb.Vector.from_coo(4, [0, 1], [1.0, 2.0])
+        v2 = gb.Vector.from_coo(4, [1, 3], [5.0, 9.0])
+        out = v1.ewise_add(v2)
+        assert np.allclose(out.to_dense(), [1.0, 7.0, 0.0, 9.0])
+
+    def test_apply(self):
+        v = gb.Vector.from_coo(3, [1], [-4.0])
+        assert v.apply(np.abs)[1] == 4.0
+
+    def test_select(self):
+        v = gb.Vector.from_coo(5, [0, 1, 2], [1.0, -2.0, 3.0])
+        pos = v.select(lambda i, vals: vals > 0)
+        assert pos.nvals == 2
+        assert pos[1] is None
+
+    def test_mask_out(self):
+        v = gb.Vector.from_coo(5, [0, 1, 2], [1.0, 2.0, 3.0])
+        m = gb.Vector.from_coo(5, [1, 4], None)
+        assert v.mask_out(m).nvals == 1
+        assert v.mask_out(m, complement=True).nvals == 2
+
+    def test_custom_ops(self):
+        v1 = gb.Vector.from_coo(3, [0, 1], [5.0, 1.0])
+        v2 = gb.Vector.from_coo(3, [0, 1], [2.0, 8.0])
+        mx = v1.ewise_mult(v2, op=np.maximum)
+        assert mx[0] == 5.0 and mx[1] == 8.0

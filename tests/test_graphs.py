@@ -1,0 +1,203 @@
+"""Unit tests for the graph/matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    GRAPH500_EDGE_FACTOR,
+    GRAPH500_PARAMS,
+    bipartite_like,
+    block_diagonal_dense,
+    degree_sort_permutation,
+    erdos_renyi,
+    erdos_renyi_graph,
+    grid2d,
+    grid3d,
+    load,
+    load_all,
+    path_like_road,
+    power_law,
+    relabel_by_degree,
+    rmat,
+    small_world,
+    suite_names,
+)
+from repro.sparse import CSR
+
+
+def _is_symmetric(m: CSR) -> bool:
+    return m.equals(m.transpose())
+
+
+def _zero_diag(m: CSR) -> bool:
+    rows, cols, _ = m.to_coo()
+    return not np.any(rows == cols)
+
+
+class TestErdosRenyi:
+    def test_shape_and_density(self):
+        m = erdos_renyi(1000, 800, 5, seed=1)
+        assert m.shape == (1000, 800)
+        # dedup only removes a tiny fraction at this density
+        assert 0.9 * 5000 <= m.nnz <= 5000
+
+    def test_deterministic_by_seed(self):
+        a = erdos_renyi(100, 100, 4, seed=7)
+        b = erdos_renyi(100, 100, 4, seed=7)
+        c = erdos_renyi(100, 100, 4, seed=8)
+        assert a.equals(b)
+        assert not a.equals(c)
+
+    def test_zero_degree(self):
+        assert erdos_renyi(10, 10, 0, seed=1).nnz == 0
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 10, -1)
+
+    def test_values_ones(self):
+        m = erdos_renyi(50, 50, 3, seed=2, values="ones")
+        assert np.array_equal(m.data, np.ones(m.nnz))
+
+    def test_graph_symmetric_no_diag(self):
+        g = erdos_renyi_graph(200, 6, seed=3)
+        assert _is_symmetric(g)
+        assert _zero_diag(g)
+
+    def test_graph_asymmetric_option(self):
+        g = erdos_renyi_graph(100, 4, seed=4, symmetric=False)
+        assert _zero_diag(g)
+
+
+class TestRmat:
+    def test_graph500_params(self):
+        assert GRAPH500_PARAMS == (0.57, 0.19, 0.19, 0.05)
+        assert GRAPH500_EDGE_FACTOR == 16
+
+    def test_size(self):
+        g = rmat(8, seed=1)
+        assert g.shape == (256, 256)
+        # edge factor 16 before dedup/self-loop removal & symmetrisation
+        assert g.nnz <= 2 * 16 * 256
+        assert g.nnz > 256
+
+    def test_symmetric_pattern(self):
+        g = rmat(7, seed=2)
+        assert _is_symmetric(g)
+        assert _zero_diag(g)
+        assert np.array_equal(g.data, np.ones(g.nnz))
+
+    def test_skewed_degrees(self):
+        """R-MAT with Graph500 params is heavy-tailed: max degree far above
+        the mean (unlike ER)."""
+        g = rmat(10, seed=3)
+        deg = g.row_nnz()
+        assert deg.max() > 5 * deg.mean()
+
+    def test_deterministic(self):
+        assert rmat(6, seed=9).equals(rmat(6, seed=9))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            rmat(5, params=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(ValueError, match="scale"):
+            rmat(0)
+
+
+class TestStructuredGenerators:
+    def test_grid2d_degree_bounds(self):
+        g = grid2d(10)
+        assert g.shape == (100, 100)
+        assert _is_symmetric(g)
+        deg = g.row_nnz()
+        assert deg.max() <= 4
+        assert deg.min() >= 2
+
+    def test_grid2d_diagonal(self):
+        g = grid2d(10, diagonal=True)
+        assert g.row_nnz().max() <= 8
+
+    def test_grid3d(self):
+        g = grid3d(5)
+        assert g.shape == (125, 125)
+        assert _is_symmetric(g)
+        assert g.row_nnz().max() <= 6
+
+    def test_road_low_degree(self):
+        g = path_like_road(2000, seed=1)
+        assert _is_symmetric(g)
+        assert g.row_nnz().mean() < 4
+
+    def test_small_world(self):
+        g = small_world(500, k=6, p=0.1, seed=1)
+        assert _is_symmetric(g)
+        assert _zero_diag(g)
+        assert g.row_nnz().mean() > 3
+
+    def test_power_law_heavy_tail(self):
+        g = power_law(2000, 16000, seed=1)
+        deg = g.row_nnz()
+        assert deg.max() > 8 * max(1.0, deg.mean())
+
+    def test_block_diagonal_dense(self):
+        g = block_diagonal_dense(4, 10, seed=1)
+        assert g.shape == (40, 40)
+        # no edges between different blocks
+        rows, cols, _ = g.to_coo()
+        assert np.all(rows // 10 == cols // 10)
+
+    def test_bipartite(self):
+        g = bipartite_like(50, 70, 4, seed=1)
+        rows, cols, _ = g.to_coo()
+        # every edge crosses the (50, 70) cut
+        side_r = rows < 50
+        side_c = cols < 50
+        assert np.all(side_r != side_c)
+
+
+class TestRelabel:
+    def test_degree_sort_nonincreasing(self):
+        g = rmat(8, seed=4)
+        perm = degree_sort_permutation(g)
+        deg = g.row_nnz()[perm]
+        assert np.all(np.diff(deg) <= 0)
+
+    def test_relabel_preserves_structure(self):
+        g = erdos_renyi_graph(100, 5, seed=5)
+        r = relabel_by_degree(g)
+        assert r.nnz == g.nnz
+        assert np.all(np.diff(r.row_nnz()) <= 0)
+        # triangle count is permutation-invariant (checked in app tests too)
+        assert _is_symmetric(r)
+
+    def test_ascending_option(self):
+        g = erdos_renyi_graph(60, 4, seed=6)
+        r = relabel_by_degree(g, ascending=True)
+        assert np.all(np.diff(r.row_nnz()) >= 0)
+
+
+class TestSuite:
+    def test_has_26_graphs(self):
+        assert len(suite_names()) == 26
+
+    def test_load_memoised(self):
+        g1 = load("er-sparse-s")
+        g2 = load("er-sparse-s")
+        assert g1 is g2
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("not-a-graph")
+
+    def test_all_members_valid_graphs(self):
+        for name, g in load_all(names=suite_names()[:6]).items():
+            assert g.nrows == g.ncols, name
+            assert _is_symmetric(g), name
+            assert _zero_diag(g), name
+            g.check()
+
+    def test_nnz_spread(self):
+        """The suite must span ~2 orders of magnitude in nnz (the axis the
+        performance profiles need)."""
+        sizes = [load(n).nnz for n in suite_names()]
+        assert max(sizes) / min(sizes) > 30

@@ -1,0 +1,109 @@
+"""Unit tests for the cache simulator and access traces."""
+
+import numpy as np
+import pytest
+
+from repro.machine import AccessTrace, CacheSim
+
+
+class TestCacheSim:
+    def test_cold_miss_then_hit(self):
+        c = CacheSim(1024, line_bytes=64, assoc=2)
+        assert not c.access(0)  # cold miss
+        assert c.access(0)  # hit
+        assert c.access(63)  # same line
+        assert not c.access(64)  # next line
+        assert c.hits == 2
+        assert c.misses == 2
+
+    def test_capacity_eviction_lru(self):
+        # fully-associative single-set cache of 2 lines
+        c = CacheSim(128, line_bytes=64, assoc=2)
+        assert c.n_sets == 1
+        c.access(0)  # A
+        c.access(64)  # B
+        c.access(0)  # touch A (MRU)
+        c.access(128)  # C evicts B (LRU)
+        assert c.access(0)  # A still resident
+        assert not c.access(64)  # B was evicted
+
+    def test_direct_mapped_conflict(self):
+        # 2 sets, assoc 1: lines 0 and 2 map to set 0 and conflict
+        c = CacheSim(128, line_bytes=64, assoc=1)
+        assert c.n_sets == 2
+        c.access(0)
+        c.access(2 * 64)
+        assert not c.access(0)  # evicted by the conflicting line
+
+    def test_access_range_counts_lines(self):
+        c = CacheSim(4096, line_bytes=64)
+        h, m = c.access_range(0, 256)  # 4 lines
+        assert m == 4 and h == 0
+        h, m = c.access_range(0, 256)
+        assert h == 4 and m == 0
+
+    def test_miss_rate(self):
+        c = CacheSim(4096)
+        assert c.miss_rate() == 0.0
+        c.access(0)
+        assert c.miss_rate() == 1.0
+        c.access(0)
+        assert c.miss_rate() == 0.5
+
+    def test_flush(self):
+        c = CacheSim(4096)
+        c.access(0)
+        c.flush()
+        assert c.hits == c.misses == 0
+        assert not c.access(0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CacheSim(0)
+        with pytest.raises(ValueError):
+            CacheSim(64, line_bytes=0)
+
+    def test_working_set_behaviour(self):
+        """A working set larger than capacity must keep missing; one that
+        fits must keep hitting — the effect the cost model interpolates."""
+        cache = CacheSim(1024, line_bytes=64, assoc=16)  # 16 lines
+        small = [i * 64 for i in range(8)]
+        big = [i * 64 for i in range(64)]
+        for _ in range(3):
+            cache.access_many(small)
+        assert cache.hits >= 2 * len(small)
+        cache.flush()
+        for _ in range(3):
+            cache.access_many(big)  # cyclic sweep over 4x capacity
+        assert cache.miss_rate() > 0.9
+
+
+class TestAccessTrace:
+    def test_contiguous_replay(self):
+        t = AccessTrace()
+        t.touch_contiguous("a", 0, 512)  # 64 words
+        c = CacheSim(4096, line_bytes=64)
+        h, m = t.replay(c)
+        assert m == 8  # 512 bytes / 64
+        assert h == 64 - 8
+
+    def test_scatter_replay(self):
+        t = AccessTrace()
+        idx = np.array([0, 100, 200, 0])
+        t.touch("spa", 0, idx, stride_bytes=8)
+        c = CacheSim(64, line_bytes=8, assoc=8)
+        h, m = t.replay(c)
+        assert h + m == 4
+
+    def test_n_accesses(self):
+        t = AccessTrace()
+        t.touch("x", 0, np.arange(5), 8)
+        t.touch("y", 0, np.arange(3), 8)
+        assert t.n_accesses() == 8
+
+    def test_sampling(self):
+        t = AccessTrace()
+        t.touch("x", 0, np.arange(1000), 8)
+        c = CacheSim(64 * 1024)
+        t.replay(c, sample=10)
+        assert c.hits + c.misses == 100

@@ -1,0 +1,295 @@
+"""Tests for the cost model, traffic formulas and operation counters.
+
+The cost model's *absolute* outputs are calibration, not truth; these tests
+pin down (a) exact bookkeeping (flops, traffic formulas), (b) the paper's
+qualitative orderings the whole reproduction rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.machine import (
+    HASWELL,
+    KNL,
+    MACHINES,
+    MachineConfig,
+    OpCounter,
+    RowCostModel,
+    estimate_row_cycles,
+    estimate_seconds,
+    flops_per_row,
+    pull_traffic_words,
+    push_common_traffic_words,
+    total_flops,
+    useful_flops_per_row,
+)
+from repro.sparse import CSR
+
+from .conftest import random_csr
+
+
+class TestFlopsAccounting:
+    def test_flops_per_row_matches_bruteforce(self):
+        a = random_csr(15, 12, 3, seed=1)
+        b = random_csr(12, 10, 3, seed=2)
+        fl = flops_per_row(a, b)
+        da, db = a.to_dense() != 0, b.to_dense() != 0
+        for i in range(15):
+            expect = sum(db[k].sum() for k in np.nonzero(da[i])[0])
+            assert fl[i] == expect
+
+    def test_total_flops(self):
+        a = random_csr(15, 12, 3, seed=3)
+        b = random_csr(12, 10, 3, seed=4)
+        assert total_flops(a, b) == flops_per_row(a, b).sum()
+
+    def test_empty(self):
+        assert total_flops(CSR.empty((5, 5)), CSR.empty((5, 5))) == 0
+
+    def test_useful_flops_bounded(self):
+        a = random_csr(15, 12, 4, seed=5)
+        b = random_csr(12, 10, 4, seed=6)
+        m = random_csr(15, 10, 4, seed=7)
+        useful = useful_flops_per_row(a, b, m)
+        assert np.all(useful <= flops_per_row(a, b))
+        assert np.all(useful >= 0)
+
+    def test_useful_flops_full_mask_is_all(self):
+        a = random_csr(10, 10, 3, seed=8)
+        b = random_csr(10, 10, 3, seed=9)
+        full = CSR.from_dense(np.ones((10, 10)))
+        assert np.array_equal(useful_flops_per_row(a, b, full), flops_per_row(a, b))
+
+    def test_useful_flops_counted_by_reference(self):
+        """Reference kernels' flop counter equals the exact useful flops."""
+        from repro.core import masked_spgemm_reference
+
+        a = random_csr(12, 12, 4, seed=10)
+        b = random_csr(12, 12, 4, seed=11)
+        m = random_csr(12, 12, 4, seed=12)
+        c = OpCounter()
+        masked_spgemm_reference(a, b, m, algo="msa", counter=c)
+        assert c.flops == useful_flops_per_row(a, b, m).sum()
+
+
+class TestTrafficFormulas:
+    def test_pull_formula_verbatim(self):
+        """Section 4.1: nnz(A) + nnz(M)(1 + nnz(B)/n)."""
+        a = random_csr(20, 20, 4, seed=13)
+        b = random_csr(20, 20, 4, seed=14)
+        m = random_csr(20, 20, 4, seed=15)
+        want = a.nnz + m.nnz * (1 + b.nnz / 20)
+        assert pull_traffic_words(a, b, m) == pytest.approx(want)
+
+    def test_push_common_patterns(self):
+        a = random_csr(20, 20, 4, seed=16)
+        b = random_csr(20, 20, 4, seed=17)
+        t = push_common_traffic_words(a, b, line_words=8)
+        assert t.read_inputs == 2 * a.nnz
+        assert t.row_pointers == a.nnz * 8
+        assert t.stanza_reads == 2 * total_flops(a, b)
+        assert t.total == t.read_inputs + t.row_pointers + t.stanza_reads
+
+
+class TestOpCounter:
+    def test_merge(self):
+        c1 = OpCounter(flops=3, hash_probes=2)
+        c2 = OpCounter(flops=4, heap_pops=1)
+        c1.merge(c2)
+        assert c1.flops == 7
+        assert c1.hash_probes == 2
+        assert c1.heap_pops == 1
+
+    def test_as_dict_copy(self):
+        c = OpCounter(flops=5)
+        d = c.copy()
+        d.flops = 9
+        assert c.flops == 5
+        assert c.as_dict()["flops"] == 5
+
+    def test_total_ops(self):
+        c = OpCounter(flops=2, mask_scans=3)
+        assert c.total_ops() == 5
+
+
+class TestMachineConfigs:
+    def test_presets(self):
+        assert HASWELL.cores == 32
+        assert KNL.cores == 68
+        assert KNL.llc_bytes == 0  # the defining difference
+        assert HASWELL.llc_bytes == 40 * 1024 * 1024
+        assert set(MACHINES) == {"haswell", "knl"}
+
+    def test_seconds_conversion(self):
+        assert HASWELL.seconds(2.3e9) == pytest.approx(1.0)
+
+
+class TestCostModelShapes:
+    """The qualitative orderings of Sections 4.3 / 8 (the reproduction's
+    load-bearing claims)."""
+
+    def _times(self, a, b, m, machine=HASWELL, complement=False):
+        model = RowCostModel(a, b, m, machine, complement=complement)
+        out = {}
+        for algo in ("inner", "msa", "hash", "heap", "heapdot", "mca"):
+            if complement and algo in ("inner", "mca"):
+                continue
+            est = model.estimate(algo)
+            out[algo] = est.total_cycles
+        return out
+
+    def test_inner_wins_sparse_mask(self):
+        n = 2048
+        a = erdos_renyi(n, n, 32, seed=1)
+        b = erdos_renyi(n, n, 32, seed=2)
+        m = erdos_renyi(n, n, 1, seed=3)
+        t = self._times(a, b, m)
+        assert t["inner"] == min(t.values())
+
+    def test_heap_wins_sparse_inputs_dense_mask(self):
+        n = 2048
+        a = erdos_renyi(n, n, 1, seed=4)
+        b = erdos_renyi(n, n, 1, seed=5)
+        m = erdos_renyi(n, n, 48, seed=6)
+        t = self._times(a, b, m)
+        best = min(t, key=t.get)
+        assert best in ("heap", "heapdot")
+
+    def test_accumulators_win_comparable_density(self):
+        n = 2048
+        a = erdos_renyi(n, n, 16, seed=7)
+        b = erdos_renyi(n, n, 16, seed=8)
+        m = erdos_renyi(n, n, 32, seed=9)
+        t = self._times(a, b, m)
+        best = min(t, key=t.get)
+        assert best in ("msa", "hash", "mca")
+
+    def test_msa_beats_hash_small_hash_beats_msa_large(self):
+        """MSA better on smaller matrices, Hash on larger (paper Sec. 8.1)."""
+        small_n, large_n = 1024, 1 << 21
+        for n, expect in ((small_n, "msa"), (large_n, "hash")):
+            a = erdos_renyi(n, n, 8, seed=10)
+            b = erdos_renyi(n, n, 8, seed=11)
+            m = erdos_renyi(n, n, 8, seed=12)
+            model = RowCostModel(a, b, m, HASWELL)
+            msa = model.estimate("msa").total_cycles
+            hsh = model.estimate("hash").total_cycles
+            if expect == "msa":
+                assert msa < hsh
+            else:
+                assert hsh < msa
+
+    def test_one_phase_always_beats_two_phase(self):
+        a = erdos_renyi(512, 512, 8, seed=13)
+        b = erdos_renyi(512, 512, 8, seed=14)
+        m = erdos_renyi(512, 512, 8, seed=15)
+        model = RowCostModel(a, b, m, HASWELL)
+        for algo in ("inner", "msa", "hash", "mca", "heap", "heapdot"):
+            t1 = model.estimate(algo, phases=1).total_cycles
+            t2 = model.estimate(algo, phases=2).total_cycles
+            assert t1 < t2, algo
+
+    def test_msa_relatively_better_on_haswell_than_knl(self):
+        """The 40 MB L3 hides MSA's accumulator misses (paper Sec. 8.3)."""
+        n = 1 << 17
+        a = erdos_renyi(n, n, 4, seed=16)
+        b = erdos_renyi(n, n, 4, seed=17)
+        m = erdos_renyi(n, n, 4, seed=18)
+        ratios = {}
+        for mach in (HASWELL, KNL):
+            model = RowCostModel(a, b, m, mach)
+            msa = model.estimate("msa").total_cycles
+            hsh = model.estimate("hash").total_cycles
+            ratios[mach.name] = msa / hsh
+        assert ratios["haswell"] < ratios["knl"]
+
+    def test_ssgb_saxpy_wastes_work_on_sparse_mask(self):
+        n = 2048
+        a = erdos_renyi(n, n, 16, seed=19)
+        b = erdos_renyi(n, n, 16, seed=20)
+        m = erdos_renyi(n, n, 1, seed=21)
+        model = RowCostModel(a, b, m, HASWELL)
+        ours = model.estimate("inner").total_cycles
+        saxpy = model.estimate("ssgb_saxpy").total_cycles
+        assert ours < saxpy
+
+    def test_complement_supported_subset(self):
+        a = erdos_renyi(128, 128, 4, seed=22)
+        m = erdos_renyi(128, 128, 4, seed=23)
+        model = RowCostModel(a, a, m, HASWELL, complement=True)
+        for algo in ("msa", "hash", "heap", "heapdot", "ssgb_dot", "ssgb_saxpy"):
+            assert model.estimate(algo).total_cycles > 0
+        with pytest.raises(ValueError):
+            model.estimate("inner")
+        with pytest.raises(ValueError):
+            model.estimate("mca")
+
+    def test_unknown_algo_rejected(self):
+        a = erdos_renyi(32, 32, 2, seed=24)
+        with pytest.raises(ValueError, match="unknown"):
+            RowCostModel(a, a, a, HASWELL).estimate("nope")
+
+
+class TestEstimateHelpers:
+    def test_estimate_row_cycles_shape(self):
+        a = erdos_renyi(64, 64, 4, seed=25)
+        est = estimate_row_cycles(a, a, a, "msa", HASWELL)
+        assert est.row_cycles.shape == (64,)
+        assert est.total_cycles > 0
+        assert "accumulator" in est.breakdown
+
+    def test_estimate_seconds_scales_with_threads(self):
+        a = erdos_renyi(256, 256, 8, seed=26)
+        t1 = estimate_seconds(a, a, a, "msa", HASWELL, threads=1)
+        t32 = estimate_seconds(a, a, a, "msa", HASWELL, threads=32)
+        assert t32 < t1
+        assert t1 / t32 <= 32 + 1e-9
+
+    def test_model_estimate_seconds_method(self):
+        a = erdos_renyi(64, 64, 4, seed=27)
+        est = estimate_row_cycles(a, a, a, "hash", HASWELL)
+        assert est.seconds(HASWELL, threads=2) < est.seconds(HASWELL, threads=1)
+
+    def test_shape_validation(self):
+        a = erdos_renyi(8, 9, 2, seed=28)
+        b = erdos_renyi(9, 7, 2, seed=29)
+        m_bad = erdos_renyi(8, 8, 2, seed=30)
+        with pytest.raises(ValueError, match="mask shape"):
+            RowCostModel(a, b, m_bad, HASWELL)
+        with pytest.raises(ValueError, match="inner dimensions"):
+            RowCostModel(a, a, m_bad, HASWELL)
+
+
+class TestExplainReport:
+    def test_breakdown_table_covers_algos(self):
+        from repro.machine import breakdown_table
+
+        a = erdos_renyi(128, 128, 4, seed=40)
+        m = erdos_renyi(128, 128, 4, seed=41)
+        table = breakdown_table(a, a, m)
+        assert "msa" in table and "esc" in table
+        for row in table.values():
+            assert row["TOTAL"] > 0
+
+    def test_explain_orders_cheapest_first(self):
+        from repro.machine import explain
+
+        a = erdos_renyi(256, 256, 8, seed=42)
+        m = erdos_renyi(256, 256, 2, seed=43)
+        text = explain(a, a, m)
+        lines = [l for l in text.splitlines()[1:] if l.strip()]
+        assert len(lines) >= 5
+        # totals parse and are non-decreasing
+        totals = [float(l.split()[1]) for l in lines]
+        assert totals == sorted(totals)
+        assert "cycles" in text
+
+    def test_explain_complement_drops_inner_mca(self):
+        from repro.machine import explain
+
+        a = erdos_renyi(64, 64, 3, seed=44)
+        m = erdos_renyi(64, 64, 3, seed=45)
+        text = explain(a, a, m, complement=True)
+        assert "inner" not in text.split("complement")[1]
+        assert "mca " not in text

@@ -1,0 +1,93 @@
+"""Unit tests for the parallel-schedule (makespan) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine import SCHEDULES, simulate_makespan, speedup_curve
+
+
+class TestMakespanBasics:
+    def test_single_thread_is_total(self):
+        costs = np.array([1.0, 2.0, 3.0])
+        for sched in SCHEDULES:
+            assert simulate_makespan(costs, 1, schedule=sched) == 6.0
+
+    def test_empty(self):
+        assert simulate_makespan(np.array([]), 4) == 0.0
+
+    def test_uniform_perfect_split(self):
+        costs = np.ones(64)
+        assert simulate_makespan(costs, 4, schedule="static") == 16.0
+        assert simulate_makespan(costs, 4, schedule="cyclic") == 16.0
+        assert simulate_makespan(costs, 4, schedule="dynamic", chunk=1) == 16.0
+
+    def test_static_skew_imbalance(self):
+        # all the work in the first block: static suffers, cyclic balances
+        costs = np.zeros(64)
+        costs[:16] = 1.0
+        static = simulate_makespan(costs, 4, schedule="static")
+        cyclic = simulate_makespan(costs, 4, schedule="cyclic")
+        assert static == 16.0
+        assert cyclic == 4.0
+
+    def test_dynamic_beats_static_on_skew(self):
+        rng = np.random.default_rng(0)
+        costs = rng.pareto(1.5, size=512) + 0.1
+        static = simulate_makespan(costs, 8, schedule="static")
+        dynamic = simulate_makespan(costs, 8, schedule="dynamic", chunk=4)
+        assert dynamic <= static + 1e-9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="threads"):
+            simulate_makespan(np.ones(4), 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            simulate_makespan(np.array([-1.0]), 2)
+        with pytest.raises(ValueError, match="1-D"):
+            simulate_makespan(np.ones((2, 2)), 2)
+        with pytest.raises(ValueError, match="schedule"):
+            simulate_makespan(np.ones(4), 2, schedule="magic")
+
+
+class TestListSchedulingBounds:
+    """Greedy schedules satisfy max(W/p, max_chunk) <= span <= W/p + max_chunk."""
+
+    @pytest.mark.parametrize("sched", ["dynamic", "guided"])
+    @pytest.mark.parametrize("p", [2, 4, 16])
+    def test_bounds(self, sched, p):
+        rng = np.random.default_rng(42)
+        costs = rng.exponential(1.0, size=333)
+        span = simulate_makespan(costs, p, schedule=sched, chunk=8)
+        total = costs.sum()
+        # the largest single chunk bounds both sides
+        chunk_sums = [costs[i : i + 8].sum() for i in range(0, 333, 8)]
+        max_chunk = max(chunk_sums)
+        assert span >= max(total / p, max_chunk) - 1e-9
+        assert span <= total / p + max_chunk + 1e-9
+
+    def test_makespan_monotone_in_threads(self):
+        rng = np.random.default_rng(7)
+        costs = rng.random(256)
+        spans = [simulate_makespan(costs, p, chunk=4) for p in (1, 2, 4, 8, 16)]
+        for earlier, later in zip(spans, spans[1:]):
+            assert later <= earlier + 1e-9
+
+
+class TestSpeedupCurve:
+    def test_ideal_speedup_uniform(self):
+        curve = speedup_curve(np.ones(1024), [1, 2, 4, 8], chunk=1)
+        for p in (1, 2, 4, 8):
+            assert curve[p] == pytest.approx(p)
+
+    def test_amdahl_serial_fraction(self):
+        # 50% serial work caps speedup at 2
+        curve = speedup_curve(np.ones(1000), [1000], chunk=1,
+                              serial_cycles=1000.0)
+        assert curve[1000] == pytest.approx(2.0, rel=0.01)
+
+    def test_speedup_bounded_by_threads(self):
+        rng = np.random.default_rng(1)
+        costs = rng.random(500)
+        curve = speedup_curve(costs, [1, 3, 9], chunk=2)
+        for p, s in curve.items():
+            assert s <= p + 1e-9
+        assert curve[1] == pytest.approx(1.0)

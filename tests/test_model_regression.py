@@ -1,0 +1,74 @@
+"""Regression pins for the machine model.
+
+The cost model is calibrated code: innocuous-looking edits to its constants
+or formulas can silently move the Figure-7 regime boundaries and flip the
+paper-shape assertions in benchmarks/.  These tests pin the *regime
+structure* (not exact cycle counts) of the current calibration so a model
+change fails loudly here first.
+
+If you change the model deliberately, re-derive the expected grids with::
+
+    python -m repro.bench --figure 7
+
+and update the pins together with EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench import fig07_density_grid
+from repro.machine import HASWELL
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return fig07_density_grid(n=4096, degrees=(1, 2, 4, 8, 16, 32, 64),
+                              machine=HASWELL)
+
+
+FAMILY = {
+    "Inner-1P": "pull",
+    "MSA-1P": "accum",
+    "Hash-1P": "accum",
+    "MCA-1P": "accum",
+    "Heap-1P": "heap",
+    "HeapDot-1P": "heap",
+}
+
+
+class TestFigure7RegimePins:
+    def test_pull_region(self, grid):
+        """The mask-much-sparser-than-inputs wedge belongs to Inner."""
+        for d_in, d_m in [(16, 1), (32, 1), (64, 1), (32, 2), (64, 2),
+                          (64, 4), (64, 8)]:
+            assert FAMILY[grid.winners[(d_in, d_m)]] == "pull", (d_in, d_m)
+
+    def test_heap_region(self, grid):
+        """The inputs-much-sparser-than-mask corner belongs to the heaps."""
+        for d_in, d_m in [(1, 8), (1, 16), (1, 32), (1, 64)]:
+            assert FAMILY[grid.winners[(d_in, d_m)]] == "heap", (d_in, d_m)
+
+    def test_accumulator_region(self, grid):
+        """The comparable-density band belongs to the accumulators."""
+        for d_in, d_m in [(8, 8), (16, 16), (32, 32), (64, 64),
+                          (8, 16), (16, 32), (8, 32)]:
+            assert FAMILY[grid.winners[(d_in, d_m)]] == "accum", (d_in, d_m)
+
+    def test_every_cell_has_winner(self, grid):
+        assert len(grid.winners) == 49
+        assert set(grid.winners.values()) <= set(FAMILY)
+
+
+class TestTotalCyclePins:
+    """Order-of-magnitude pins on modeled makespan seconds (32 threads):
+    a ~10x drift in either direction means the calibration moved
+    materially."""
+
+    def test_msa_reference_point(self, grid):
+        cell = grid.times[(16, 16)]
+        assert 2e-5 < cell["MSA-1P"] < 2e-3, cell["MSA-1P"]
+
+    def test_relative_ordering_stable(self, grid):
+        cell = grid.times[(64, 1)]
+        assert cell["Inner-1P"] * 3 < cell["MSA-1P"]
+        cell = grid.times[(1, 64)]
+        assert min(cell["Heap-1P"], cell["HeapDot-1P"]) < cell["Hash-1P"]

@@ -1,0 +1,138 @@
+"""Tests for row partitioners and the parallel masked-SpGEMM driver."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import scipy_masked_spgemm
+from repro.machine import OpCounter
+from repro.parallel import (
+    balanced_partition,
+    block_partition,
+    chunk_schedule,
+    cyclic_partition,
+    parallel_masked_spgemm,
+)
+
+from .conftest import assert_csr_equal, random_csr
+
+
+def _check_partition(parts, n):
+    """Every row appears exactly once across parts."""
+    all_rows = np.concatenate([p for p in parts]) if parts else np.array([])
+    assert sorted(all_rows.tolist()) == list(range(n))
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("n,p", [(10, 3), (100, 7), (5, 8), (0, 2), (64, 1)])
+    def test_block_covers_all(self, n, p):
+        parts = block_partition(n, p)
+        assert len(parts) == p
+        _check_partition(parts, n)
+
+    @pytest.mark.parametrize("n,p", [(10, 3), (100, 7), (5, 8), (64, 1)])
+    def test_cyclic_covers_all(self, n, p):
+        parts = cyclic_partition(n, p)
+        _check_partition(parts, n)
+        # strided assignment
+        if n > p:
+            assert parts[0][1] - parts[0][0] == p
+
+    def test_balanced_covers_all(self):
+        w = np.random.default_rng(0).random(97)
+        parts = balanced_partition(w, 5)
+        _check_partition(parts, 97)
+
+    def test_balanced_actually_balances(self):
+        # one heavy prefix: balanced splits must not put everything in part 0
+        w = np.zeros(100)
+        w[:10] = 100.0
+        w[10:] = 1.0
+        parts = balanced_partition(w, 5)
+        sums = [w[p].sum() for p in parts]
+        assert max(sums) < 0.5 * w.sum()
+
+    def test_balanced_contiguous(self):
+        w = np.random.default_rng(1).random(50)
+        for p in balanced_partition(w, 4):
+            if p.size > 1:
+                assert np.all(np.diff(p) == 1)
+
+    def test_balanced_zero_weights(self):
+        parts = balanced_partition(np.zeros(10), 3)
+        _check_partition(parts, 10)
+
+    def test_chunk_schedule(self):
+        chunks = chunk_schedule(10, 3)
+        assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        with pytest.raises(ValueError):
+            chunk_schedule(10, 0)
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            block_partition(10, 0)
+        with pytest.raises(ValueError):
+            cyclic_partition(10, -1)
+        with pytest.raises(ValueError):
+            balanced_partition(np.ones(4), 0)
+
+
+class TestParallelDriver:
+    @pytest.mark.parametrize("partition", ["block", "cyclic", "balanced"])
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_matches_oracle(self, partition, backend, small_triple):
+        a, b, m = small_triple
+        want = scipy_masked_spgemm(a, b, m)
+        got = parallel_masked_spgemm(
+            a, b, m, threads=4, partition=partition, backend=backend
+        )
+        assert_csr_equal(got, want)
+
+    @pytest.mark.parametrize("algo", ["msa", "hash", "mca", "inner"])
+    def test_all_fast_algos(self, algo, small_triple):
+        a, b, m = small_triple
+        want = scipy_masked_spgemm(a, b, m)
+        got = parallel_masked_spgemm(a, b, m, algo=algo, threads=3)
+        assert_csr_equal(got, want)
+
+    def test_complement(self, small_triple):
+        a, b, m = small_triple
+        want = scipy_masked_spgemm(a, b, m, complement=True)
+        got = parallel_masked_spgemm(a, b, m, threads=4, complement=True)
+        assert_csr_equal(got, want)
+
+    def test_more_threads_than_rows(self):
+        a = random_csr(3, 5, 2, seed=61)
+        b = random_csr(5, 4, 2, seed=62)
+        m = random_csr(3, 4, 2, seed=63)
+        got = parallel_masked_spgemm(a, b, m, threads=16)
+        assert_csr_equal(got, scipy_masked_spgemm(a, b, m))
+
+    def test_single_thread(self, small_triple):
+        a, b, m = small_triple
+        got = parallel_masked_spgemm(a, b, m, threads=1)
+        assert_csr_equal(got, scipy_masked_spgemm(a, b, m))
+
+    def test_counter_merged_across_workers(self, small_triple):
+        a, b, m = small_triple
+        serial = OpCounter()
+        parallel_masked_spgemm(a, b, m, threads=1, counter=serial)
+        merged = OpCounter()
+        parallel_masked_spgemm(a, b, m, threads=4, counter=merged)
+        # work decomposition must not change the total useful flops
+        assert merged.flops == serial.flops
+        assert merged.output_nnz == serial.output_nnz
+
+    def test_deterministic_regardless_of_threads(self, small_triple):
+        a, b, m = small_triple
+        r1 = parallel_masked_spgemm(a, b, m, threads=1)
+        r4 = parallel_masked_spgemm(a, b, m, threads=4, partition="cyclic")
+        assert r1.equals(r4)
+
+    def test_validation(self, small_triple):
+        a, b, m = small_triple
+        with pytest.raises(ValueError, match="threads"):
+            parallel_masked_spgemm(a, b, m, threads=0)
+        with pytest.raises(ValueError, match="backend"):
+            parallel_masked_spgemm(a, b, m, backend="mpi")
+        with pytest.raises(ValueError, match="partition"):
+            parallel_masked_spgemm(a, b, m, partition="magic")

@@ -1,0 +1,213 @@
+"""Failure-injection and edge-case robustness tests across the library."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import scipy_masked_spgemm
+from repro.core import ALGOS, masked_spgemm
+from repro.sparse import CSR
+
+from .conftest import assert_csr_equal, random_csr
+
+
+class TestUnsortedInputs:
+    """Kernels require sorted rows; the dispatcher must canonicalise
+    unsorted inputs rather than corrupting results."""
+
+    def _shuffled(self, m: CSR, seed=0) -> CSR:
+        rng = np.random.default_rng(seed)
+        rows, cols, vals = m.to_coo()
+        perm = rng.permutation(rows.shape[0])
+        rows, cols, vals = rows[perm], cols[perm], vals[perm]
+        # rebuild CSR rows with unsorted column order, bypassing from_coo
+        order = np.argsort(rows, kind="stable")
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        indptr = np.zeros(m.nrows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSR(m.shape, indptr, cols, vals, sorted_indices=False)
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_unsorted_operands(self, algo, small_triple):
+        a, b, m = small_triple
+        want = scipy_masked_spgemm(a, b, m)
+        got = masked_spgemm(
+            self._shuffled(a, 1), self._shuffled(b, 2), self._shuffled(m, 3),
+            algo=algo,
+        )
+        assert_csr_equal(got, want, msg=algo)
+
+
+class TestNumericEdgeCases:
+    def test_nan_values_propagate(self):
+        a = CSR.from_coo((2, 2), [0], [0], [np.nan])
+        b = CSR.from_coo((2, 2), [0], [1], [2.0])
+        m = CSR.from_coo((2, 2), [0], [1], [1.0])
+        c = masked_spgemm(a, b, m, algo="msa")
+        assert c.nnz == 1
+        assert np.isnan(c.data[0])
+
+    def test_infinities(self):
+        a = CSR.from_coo((2, 2), [0], [0], [np.inf])
+        b = CSR.from_coo((2, 2), [0], [1], [2.0])
+        m = CSR.from_coo((2, 2), [0], [1], [1.0])
+        c = masked_spgemm(a, b, m, algo="hash")
+        assert c.data[0] == np.inf
+
+    def test_cancellation_keeps_structural_entry(self):
+        """1*1 + 1*(-1) = 0: GraphBLAS keeps computed zeros (structure is
+        meaningful); drop_zeros removes them explicitly."""
+        a = CSR.from_coo((1, 2), [0, 0], [0, 1], [1.0, 1.0])
+        b = CSR.from_coo((2, 1), [0, 1], [0, 0], [1.0, -1.0])
+        m = CSR.from_coo((1, 1), [0], [0], [1.0])
+        c = masked_spgemm(a, b, m, algo="msa")
+        assert c.nnz == 1
+        assert c.data[0] == 0.0
+        assert c.drop_zeros().nnz == 0
+
+    def test_tiny_values_survive(self):
+        a = CSR.from_coo((1, 1), [0], [0], [1e-300])
+        b = CSR.from_coo((1, 1), [0], [0], [1e-300])
+        m = CSR.from_coo((1, 1), [0], [0], [1.0])
+        c = masked_spgemm(a, b, m, algo="mca")
+        assert c.nnz == 1  # underflows to 0.0 but stays structural
+
+    def test_negative_values(self, small_triple):
+        a, b, m = small_triple
+        a = a.copy()
+        a.data[:] = -a.data
+        want = scipy_masked_spgemm(a, b, m)
+        for algo in ("msa", "inner"):
+            assert_csr_equal(masked_spgemm(a, b, m, algo=algo), want)
+
+
+class TestExtremeShapes:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_single_row(self, algo):
+        a = random_csr(1, 20, 5, seed=1)
+        b = random_csr(20, 30, 3, seed=2)
+        m = random_csr(1, 30, 8, seed=3)
+        assert_csr_equal(
+            masked_spgemm(a, b, m, algo=algo), scipy_masked_spgemm(a, b, m)
+        )
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_single_column_output(self, algo):
+        a = random_csr(15, 10, 3, seed=4)
+        b = random_csr(10, 1, 1, seed=5)
+        m = random_csr(15, 1, 1, seed=6)
+        assert_csr_equal(
+            masked_spgemm(a, b, m, algo=algo), scipy_masked_spgemm(a, b, m)
+        )
+
+    def test_1x1(self):
+        a = CSR.from_coo((1, 1), [0], [0], [3.0])
+        m = CSR.from_coo((1, 1), [0], [0], [1.0])
+        for algo in ALGOS:
+            c = masked_spgemm(a, a, m, algo=algo)
+            assert c.to_dense()[0, 0] == 9.0
+
+    def test_tall_skinny_times_short_fat(self):
+        a = random_csr(200, 3, 1, seed=7)
+        b = random_csr(3, 200, 40, seed=8)
+        m = random_csr(200, 200, 2, seed=9)
+        assert_csr_equal(
+            masked_spgemm(a, b, m, algo="hash"), scipy_masked_spgemm(a, b, m)
+        )
+
+    def test_dense_inputs(self):
+        rng = np.random.default_rng(10)
+        a = CSR.from_dense(rng.random((12, 12)))
+        m = random_csr(12, 12, 4, seed=11)
+        assert_csr_equal(
+            masked_spgemm(a, a, m, algo="msa"), scipy_masked_spgemm(a, a, m)
+        )
+
+
+class TestMaskEdgeCases:
+    def test_mask_equal_to_full_product_pattern(self, small_triple):
+        a, b, _ = small_triple
+        full = scipy_masked_spgemm(
+            a, b, CSR.from_dense(np.ones((a.nrows, b.ncols)))
+        )
+        got = masked_spgemm(a, b, full.pattern(), algo="mca")
+        assert_csr_equal(got, full)
+
+    def test_mask_disjoint_from_product(self, small_triple):
+        a, b, _ = small_triple
+        full = scipy_masked_spgemm(
+            a, b, CSR.from_dense(np.ones((a.nrows, b.ncols)))
+        )
+        from repro.sparse import mask_pattern
+
+        all_ones = CSR.from_dense(np.ones((a.nrows, b.ncols)))
+        disjoint = mask_pattern(all_ones, full, complement=True)
+        for algo in ("msa", "inner", "heap"):
+            got = masked_spgemm(a, b, disjoint, algo=algo)
+            assert got.nnz == 0, algo
+
+    def test_mask_values_are_irrelevant(self, small_triple):
+        a, b, m = small_triple
+        weird = m.copy()
+        weird.data[:] = np.nan  # pattern-only semantics must ignore values
+        got = masked_spgemm(a, b, weird, algo="msa")
+        want = masked_spgemm(a, b, m, algo="msa")
+        assert_csr_equal(got, want)
+
+
+class TestLargeRandomCrossCheck:
+    """A bigger randomized cross-check than the unit tests use."""
+
+    def test_medium_scale_all_fast_algos(self):
+        a = random_csr(500, 400, 8, seed=20)
+        b = random_csr(400, 600, 8, seed=21)
+        m = random_csr(500, 600, 10, seed=22)
+        want = scipy_masked_spgemm(a, b, m)
+        for algo in ("msa", "hash", "mca", "inner"):
+            assert_csr_equal(masked_spgemm(a, b, m, algo=algo), want, msg=algo)
+
+    def test_medium_scale_complement(self):
+        a = random_csr(300, 300, 6, seed=23)
+        b = random_csr(300, 300, 6, seed=24)
+        m = random_csr(300, 300, 6, seed=25)
+        want = scipy_masked_spgemm(a, b, m, complement=True)
+        for algo in ("msa", "hash"):
+            got = masked_spgemm(a, b, m, algo=algo, complement=True)
+            assert_csr_equal(got, want, msg=algo)
+
+
+class TestDtypePreservation:
+    def test_float32_inputs_accepted(self):
+        a = random_csr(10, 10, 3, seed=30).astype(np.float32)
+        b = random_csr(10, 10, 3, seed=31).astype(np.float32)
+        m = random_csr(10, 10, 3, seed=32)
+        got = masked_spgemm(a, b, m, algo="msa")
+        want = scipy_masked_spgemm(
+            a.astype(np.float64), b.astype(np.float64), m
+        )
+        assert_csr_equal(got, want, tol=1e-5)
+
+    def test_integer_values_coerced(self):
+        a = CSR.from_coo((2, 2), [0], [0], np.array([3], dtype=np.int32))
+        assert a.data.dtype == np.float64
+        assert a.data[0] == 3.0
+
+
+class TestHugeIndexSpace:
+    def test_wide_matrix_key_arithmetic(self):
+        """row*ncols+col flat keys must stay exact for wide matrices."""
+        ncols = 1 << 30
+        a = CSR.from_coo((4, 8), [0, 1], [2, 3], [1.0, 2.0])
+        b = CSR.from_coo((8, ncols), [2, 3], [ncols - 1, ncols - 2],
+                         [5.0, 7.0])
+        m = CSR.from_coo((4, ncols), [0, 1], [ncols - 1, ncols - 2],
+                         [1.0, 1.0])
+        # note: "inner" is excluded — it would build the CSC of B, whose
+        # column-pointer array alone is ncols * 8 bytes = 8.6 GB here
+        for algo in ("hash", "mca", "esc"):
+            got = masked_spgemm(a, b, m, algo=algo)
+            assert got.nnz == 2, algo
+            rows, cols, vals = got.to_coo()
+            dense_vals = dict(zip(zip(rows, cols), vals))
+            assert dense_vals[(0, ncols - 1)] == 5.0
+            assert dense_vals[(1, ncols - 2)] == 14.0
