@@ -82,7 +82,7 @@ def betweenness_centrality(
     sources: Optional[Sequence[int]] = None,
     *,
     batch_size: int = 512,
-    algo: str = "msa",
+    algo: str = "auto",
     impl: str = "auto",
     phases: int = 1,
     counter: Optional[OpCounter] = None,

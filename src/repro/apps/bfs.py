@@ -39,7 +39,7 @@ def multi_source_bfs(
     a: CSR,
     sources: Sequence[int],
     *,
-    algo: str = "msa",
+    algo: str = "auto",
     impl: str = "auto",
     counter: Optional[OpCounter] = None,
 ) -> BFSResult:

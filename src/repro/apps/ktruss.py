@@ -48,7 +48,7 @@ def ktruss(
     a: CSR,
     k: int = 5,
     *,
-    algo: str = "msa",
+    algo: str = "auto",
     impl: str = "auto",
     phases: int = 1,
     max_iters: int = 100,

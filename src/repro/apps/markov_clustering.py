@@ -91,7 +91,7 @@ def markov_clustering(
     max_iters: int = 60,
     tol: float = 1e-8,
     selective_expansion: bool = False,
-    algo: str = "msa",
+    algo: str = "auto",
     counter: Optional[OpCounter] = None,
 ) -> MCLResult:
     """Cluster the undirected graph ``a`` with MCL.

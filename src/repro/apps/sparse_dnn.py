@@ -151,7 +151,7 @@ def sparse_dnn_forward_topk(
     x: CSR,
     *,
     top_k: int = 32,
-    algo: str = "msa",
+    algo: str = "auto",
     counter: Optional[OpCounter] = None,
 ) -> DNNResult:
     """Budgeted inference: after each layer keep only the top-k activations

@@ -158,7 +158,7 @@ def beam_search_inference(
     *,
     beam_width: int = 4,
     top_k: int = 5,
-    algo: str = "msa",
+    algo: str = "auto",
     counter: Optional[OpCounter] = None,
 ) -> InferenceResult:
     """Masked-SpGEMM beam search over the label tree.

@@ -46,7 +46,7 @@ def _prepare(a: CSR, relabel: bool) -> CSR:
 
 
 def triangle_count(
-    a: CSR, *, algo: str = "msa", relabel: bool = True, impl: str = "auto",
+    a: CSR, *, algo: str = "auto", relabel: bool = True, impl: str = "auto",
     phases: int = 1,
 ) -> int:
     """Number of triangles in the undirected graph with adjacency ``a``."""
@@ -58,7 +58,7 @@ def triangle_count(
 def triangle_count_detail(
     a: CSR,
     *,
-    algo: str = "msa",
+    algo: str = "auto",
     relabel: bool = True,
     impl: str = "auto",
     phases: int = 1,

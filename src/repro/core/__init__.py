@@ -2,8 +2,14 @@
 
 Public entry points:
 
-* :func:`masked_spgemm` — the dispatcher over all algorithms/variants.
-* :func:`masked_spgemm_hybrid` — the future-work per-row hybrid.
+* :func:`masked_spgemm` — the dispatcher over all algorithms/variants;
+  ``algo="auto"`` routes through the cost-model execution engine
+  (:mod:`repro.engine`), which plans per-row-band algorithms, 1P/2P
+  phases, row partitioning and optional column panels.
+* :func:`masked_spgemm_hybrid` — the future-work per-row hybrid (now a
+  ratio-banded plan executed by the engine).
+* :func:`masked_spgemm_chunked` — the memory-bounded panelled front
+  (now a forced-panel plan executed by the engine).
 * :func:`gustavson_spgemm` / :func:`spgemm_saxpy_fast` — plain SpGEMM.
 * :func:`masked_spgemm_multiply_then_mask` — the Figure-1 baseline.
 * :mod:`repro.core.accumulators` — MSA / Hash / MCA / Heap.

@@ -10,18 +10,23 @@ a panel whose mask slice is empty is skipped without touching ``B``.
 This complements the row blocking inside the fast kernels (which bounds
 the *expansion*, not the mask/accumulator footprint).  Peak footprint per
 panel is ~``nnz(B_panel) + nnz(M_panel) + panel_output``.
+
+The panel loop itself lives in the execution engine
+(:func:`repro.engine.execute` runs any plan with a ``panel_width``); this
+module keeps the panel geometry helpers and
+:func:`masked_spgemm_chunked`, the historical front door, which now builds
+a forced single-band plan with ``panel_width`` set and executes it.  The
+planner can also *choose* panelling from a memory budget
+(``Planner.plan(..., memory_budget_bytes=...)``).
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Optional, Tuple
 
-import numpy as np
-
 from ..machine import OpCounter
 from ..semiring import PLUS_TIMES, Semiring
 from ..sparse import CSR
-from .masked_spgemm import masked_spgemm
 
 __all__ = ["masked_spgemm_chunked", "column_panels", "restrict_columns"]
 
@@ -50,9 +55,11 @@ def masked_spgemm_chunked(
     *,
     panel_width: int = 4096,
     algo: str = "msa",
+    phases: int = 1,
     complement: bool = False,
     semiring: Semiring = PLUS_TIMES,
     counter: Optional[OpCounter] = None,
+    impl: str = "auto",
 ) -> CSR:
     """``M .* (A @ B)`` computed one output-column panel at a time.
 
@@ -60,33 +67,22 @@ def masked_spgemm_chunked(
     peak memory bounded by the panel instead of the whole problem.  Panels
     whose mask slice is empty are skipped entirely (plain mask) — with a
     complemented mask no panel can be skipped (the complement is dense
-    there), so the panelling only bounds memory.
+    there), so the panelling only bounds memory.  ``algo="auto"`` lets the
+    cost-model planner pick the per-band algorithms; the panel width stays
+    as forced here.
     """
-    if a.ncols != b.nrows:
-        raise ValueError("inner dimensions of A and B do not agree")
-    if mask.shape != (a.nrows, b.ncols):
-        raise ValueError("mask shape must match the output shape")
-    out_rows = []
-    out_cols = []
-    out_vals = []
-    for lo, hi in column_panels(b.ncols, panel_width):
-        m_panel = restrict_columns(mask, lo, hi)
-        if m_panel.nnz == 0 and not complement:
-            continue  # the mask proves this panel is empty
-        b_panel = restrict_columns(b, lo, hi)
-        c_panel = masked_spgemm(
-            a, b_panel, m_panel, algo=algo, complement=complement,
-            semiring=semiring, counter=counter,
-        )
-        r, c, v = c_panel.to_coo()
-        out_rows.append(r)
-        out_cols.append(c + lo)
-        out_vals.append(v)
-    if not out_rows:
-        return CSR.empty((a.nrows, b.ncols))
-    return CSR.from_coo(
-        (a.nrows, b.ncols),
-        np.concatenate(out_rows),
-        np.concatenate(out_cols),
-        np.concatenate(out_vals),
+    if panel_width <= 0:
+        raise ValueError("panel_width must be positive")
+    from ..engine import Planner, execute
+
+    pl = Planner().plan(
+        a,
+        b,
+        mask,
+        algo=None if algo.lower() == "auto" else algo,
+        phases=phases,
+        complement=complement,
+        threads=1,
+        panel_width=panel_width,
     )
+    return execute(pl, a, b, mask, semiring=semiring, impl=impl, counter=counter)

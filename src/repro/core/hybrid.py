@@ -4,22 +4,28 @@
      accumulators in the same Masked SpGEMM depending on the density of the
      mask and parts of matrices being processed."
 
-This module implements that idea as a *row-banded* dispatcher: every output
-row is classified by the per-row density regime identified in Figure 7 /
-Section 4.3, and each class of rows is executed with the algorithm that
-regime favours:
+This idea is now implemented by the execution engine (:mod:`repro.engine`),
+whose planner assigns every output row band the algorithm its regime
+favours.  This module keeps two things:
 
-* ``nnz(m_i) << flops_i``  (mask much sparser than the work) -> **inner**,
-* ``flops_i << nnz(m_i)``  (inputs much sparser than the mask) -> **mca**
-  (compact accumulator; heap is reference-only and never faster here),
-* otherwise -> **msa** when the dense accumulator fits the private cache
-  for the given machine, else **hash**.
+* :func:`classify_rows` — the *ratio-heuristic* row classifier (the
+  original hybrid policy, per Figure 7 / Section 4.3): it is one of the
+  planner's banding policies (``banding="ratio"``) and stays exposed so the
+  ablation bench can sweep its thresholds:
 
-The classification thresholds are exposed so the ablation bench can sweep
-them.  Rows of each class are extracted with ``select_rows`` (other rows
-emptied), run through the corresponding fast kernel, and the partial
-results are summed — patterns are disjoint by construction, so ``ewise_add``
-is a pure merge.
+  * ``nnz(m_i) << flops_i``  (mask much sparser than the work) -> **inner**,
+  * ``flops_i << nnz(m_i)``  (inputs much sparser than the mask) -> **mca**
+    (compact accumulator; heap is reference-only and never faster here),
+  * otherwise -> **msa** when the dense accumulator fits the private cache
+    for the given machine, else **hash**.
+
+  With ``complement=True`` the inner/mca regimes are unavailable (neither
+  supports complemented masks, paper Sec. 8.4) and every row falls through
+  to the msa/hash regime.
+
+* :func:`masked_spgemm_hybrid` — the historical front door, now a thin
+  wrapper that builds a ratio-banded :class:`~repro.engine.ExecutionPlan`
+  and hands it to the engine executor.
 """
 
 from __future__ import annotations
@@ -30,8 +36,7 @@ import numpy as np
 
 from ..machine import HASWELL, MachineConfig, OpCounter, flops_per_row
 from ..semiring import PLUS_TIMES, Semiring
-from ..sparse import CSR, ewise_add
-from .masked_spgemm import masked_spgemm
+from ..sparse import CSR
 
 __all__ = ["masked_spgemm_hybrid", "classify_rows"]
 
@@ -44,17 +49,24 @@ def classify_rows(
     *,
     pull_ratio: float = 8.0,
     push_ratio: float = 8.0,
+    complement: bool = False,
 ) -> Dict[str, np.ndarray]:
     """Partition row indices into algorithm classes.
 
     ``pull_ratio``: choose inner when ``flops_i > pull_ratio * nnz(m_i)``.
     ``push_ratio``: choose mca when ``nnz(m_i) > push_ratio * flops_i``.
+    ``complement``: complemented masks can never route to inner/mca (they
+    do not support complement), so all rows land in the msa/hash regime.
     """
     fl = flops_per_row(a, b).astype(np.float64)
     mn = mask.row_nnz().astype(np.float64)
     rows = np.arange(a.nrows)
-    inner_rows = fl > pull_ratio * np.maximum(mn, 1.0)
-    mca_rows = (~inner_rows) & (mn > push_ratio * np.maximum(fl, 1.0))
+    if complement:
+        inner_rows = np.zeros(a.nrows, dtype=bool)
+        mca_rows = np.zeros(a.nrows, dtype=bool)
+    else:
+        inner_rows = fl > pull_ratio * np.maximum(mn, 1.0)
+        mca_rows = (~inner_rows) & (mn > push_ratio * np.maximum(fl, 1.0))
     rest = ~(inner_rows | mca_rows)
     msa_fits = 2 * b.ncols * 8 <= machine.private_cache_bytes
     out: Dict[str, np.ndarray] = {}
@@ -70,26 +82,24 @@ def masked_spgemm_hybrid(
     mask: CSR,
     *,
     machine: MachineConfig = HASWELL,
+    complement: bool = False,
     semiring: Semiring = PLUS_TIMES,
     counter: Optional[OpCounter] = None,
     pull_ratio: float = 8.0,
     push_ratio: float = 8.0,
+    impl: str = "auto",
 ) -> CSR:
-    """Masked SpGEMM with a per-row algorithm choice (see module docs)."""
-    classes = classify_rows(
-        a, b, mask, machine, pull_ratio=pull_ratio, push_ratio=push_ratio
-    )
-    result: Optional[CSR] = None
-    for algo, rows in classes.items():
-        part = masked_spgemm(
-            a.select_rows(rows),
-            b,
-            mask.select_rows(rows),
-            algo=algo,
-            semiring=semiring,
-            counter=counter,
-        )
-        result = part if result is None else ewise_add(result, part, op=semiring.add_ufunc)
-    if result is None:
-        result = CSR.empty((a.nrows, b.ncols))
-    return result
+    """Masked SpGEMM with a per-row algorithm choice (see module docs).
+
+    Equivalent to planning with ``banding="ratio"`` and executing; use
+    ``masked_spgemm(..., algo="auto")`` for the cost-model-driven choice.
+    """
+    from ..engine import Planner, execute
+
+    pl = Planner(
+        machine,
+        banding="ratio",
+        pull_ratio=pull_ratio,
+        push_ratio=push_ratio,
+    ).plan(a, b, mask, complement=complement, phases=1, threads=1)
+    return execute(pl, a, b, mask, semiring=semiring, impl=impl, counter=counter)

@@ -7,6 +7,7 @@ using any of the paper's algorithms:
 ========  ======================================  ==========  ==========
 algo      description                             complement  fast path
 ========  ======================================  ==========  ==========
+auto      cost-model planner picks per row band   yes         yes
 inner     pull-based dot products (Sec. 4.1)      no          yes
 msa       Masked Sparse Accumulator (Sec. 5.2)    yes         yes
 hash      hash accumulator (Sec. 5.3)             yes         yes
@@ -15,6 +16,13 @@ heap      heap merge, NInspect=1 (Sec. 5.5)       yes         reference
 heapdot   heap merge, NInspect=inf (Sec. 5.5)     yes         reference
 esc       expand-sort-compress (extension)        yes         yes
 ========  ======================================  ==========  ==========
+
+``algo="auto"`` routes through :mod:`repro.engine`: a
+:class:`~repro.engine.Planner` builds an inspectable
+:class:`~repro.engine.ExecutionPlan` from the matrices' statistics, the
+machine's cost model and the 1P/2P work estimates, and the engine executes
+it (use ``repro.engine.plan(...)`` directly to *see* the decision before
+running it).
 
 ``phases`` selects the 1P/2P output-formation strategy of Section 6: 2P
 runs a symbolic sweep first (its cost lands in ``counter.symbolic_flops``)
@@ -33,7 +41,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..machine import OpCounter
+from ..machine import MachineConfig, OpCounter
 from ..semiring import PLUS_TIMES, Semiring
 from ..sparse import CSC, CSR
 from .kernels.esc_kernel import masked_spgemm_esc_fast
@@ -95,13 +103,14 @@ def masked_spgemm(
     mask: CSR,
     *,
     algo: str = "msa",
-    phases: int = 1,
+    phases: Optional[int] = None,
     complement: bool = False,
     semiring: Semiring = PLUS_TIMES,
     impl: str = "auto",
     counter: Optional[OpCounter] = None,
     b_csc: Optional[CSC] = None,
     orientation: str = "row",
+    machine: Optional[MachineConfig] = None,
 ) -> CSR:
     """Compute ``C = M .* (A @ B)`` (``!M`` with ``complement=True``).
 
@@ -112,9 +121,11 @@ def masked_spgemm(
     mask:
         CSR mask; only its pattern is used (values ignored).
     algo:
-        One of :data:`ALGOS`.
+        One of :data:`ALGOS`, or ``"auto"`` to let the cost-model planner
+        (:mod:`repro.engine`) choose per row band.
     phases:
-        1 (one-phase) or 2 (two-phase with a symbolic sweep).
+        1 (one-phase) or 2 (two-phase with a symbolic sweep).  Defaults to
+        1, except with ``algo="auto"`` where the planner decides.
     semiring:
         Any :class:`repro.semiring.Semiring`; fast kernels additionally
         require the semiring's ``add_ufunc`` to support ``.at``/``.reduceat``.
@@ -131,6 +142,9 @@ def masked_spgemm(
         algorithm on the transposed problem ``(B^T A^T)^T`` (the
         Buluç–Gilbert orientation the heap algorithm came from).  Only the
         traversal order changes; results are identical.
+    machine:
+        :class:`MachineConfig` the ``"auto"`` planner targets (default
+        Haswell); ignored for explicit algorithms.
     """
     if orientation not in ("row", "column"):
         raise ValueError("orientation must be 'row' or 'column'")
@@ -146,12 +160,14 @@ def masked_spgemm(
             impl=impl,
             counter=counter,
             orientation="row",
+            machine=machine,
         )
         return ct.transpose()
     key = algo.lower()
-    if key not in ALL_ALGOS:
+    if key != "auto" and key not in ALL_ALGOS:
         raise ValueError(
-            f"unknown algorithm {algo!r}; expected one of {ALL_ALGOS}"
+            f"unknown algorithm {algo!r}; expected one of "
+            f"{('auto',) + ALL_ALGOS}"
         )
     if a.ncols != b.nrows:
         raise ValueError(
@@ -162,12 +178,30 @@ def masked_spgemm(
             f"mask shape {mask.shape} must match the output shape "
             f"({a.nrows}, {b.ncols})"
         )
-    if phases not in (1, 2):
+    if phases is not None and phases not in (1, 2):
         raise ValueError("phases must be 1 or 2")
-    if complement and not supports_complement(key):
-        raise ValueError(f"{ALGO_LABELS[key]} does not support complemented masks")
     if impl not in ("fast", "reference", "auto"):
         raise ValueError("impl must be 'fast', 'reference' or 'auto'")
+    if key == "auto":
+        # route through the execution engine: the planner picks per-row-band
+        # algorithms, phases, partition and thread count from the cost model
+        from ..engine import plan_and_execute
+
+        return plan_and_execute(
+            a,
+            b,
+            mask,
+            machine=machine,
+            complement=complement,
+            phases=phases,
+            semiring=semiring,
+            impl=impl,
+            counter=counter,
+            b_csc=b_csc,
+        )
+    phases = 1 if phases is None else phases
+    if complement and not supports_complement(key):
+        raise ValueError(f"{ALGO_LABELS[key]} does not support complemented masks")
 
     if phases == 2:
         # symbolic sweep: exact output pattern size, charged to the counter.

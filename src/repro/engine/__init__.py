@@ -1,0 +1,34 @@
+"""Cost-model-driven execution engine for masked SpGEMM.
+
+The paper's Section 9 future work — hybrid, regime-aware algorithm
+selection — realised as an explicit three-stage pipeline:
+
+1. :class:`Planner` (or the one-shot :func:`plan`) inspects the matrices'
+   statistics, the :class:`~repro.machine.MachineConfig` and the per-row
+   cost model, and emits an
+2. :class:`ExecutionPlan` — an inspectable record of per-row-band algorithm
+   choices, 1P/2P phase strategy, row partition + thread count and optional
+   column panels, with :meth:`~ExecutionPlan.explain` for auditability —
+   which
+3. :func:`execute` runs, threading a single
+   :class:`~repro.machine.OpCounter` through every stage.
+
+``masked_spgemm(..., algo="auto")``, ``masked_spgemm_hybrid``,
+``masked_spgemm_chunked`` and ``parallel_masked_spgemm`` are all thin
+fronts over this pipeline; later scaling work (sharding, batching,
+multi-backend) plugs in here.
+"""
+
+from .executor import execute, plan_and_execute
+from .plan import ExecutionPlan, RowBand
+from .planner import PLAN_CANDIDATES, Planner, plan
+
+__all__ = [
+    "ExecutionPlan",
+    "RowBand",
+    "Planner",
+    "plan",
+    "PLAN_CANDIDATES",
+    "execute",
+    "plan_and_execute",
+]

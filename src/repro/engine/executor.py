@@ -1,0 +1,243 @@
+"""Plan executor: runs an :class:`~repro.engine.plan.ExecutionPlan`.
+
+This is the single execution path behind every front door
+(``masked_spgemm(algo="auto")``, ``masked_spgemm_hybrid``,
+``masked_spgemm_chunked``, ``parallel_masked_spgemm``): row bands are
+sliced out, optionally cut into column panels, run serially or across a
+thread pool per the plan, and the disjoint partial results are merged by
+concatenation.  One :class:`~repro.machine.OpCounter` is threaded through
+every stage — symbolic sweeps, per-partition workers and per-panel calls
+all charge the same counter, so a planned run reports exactly the work a
+monolithic run would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.chunked import column_panels, restrict_columns
+from ..core.masked_spgemm import masked_spgemm
+from ..machine import HASWELL, MachineConfig, OpCounter, flops_per_row
+from ..parallel.executor import row_slice, run_partitioned
+from ..parallel.partition import (
+    balanced_partition,
+    block_partition,
+    cyclic_partition,
+)
+from ..semiring import PLUS_TIMES, Semiring
+from ..sparse import CSC, CSR
+from .plan import ExecutionPlan, RowBand
+
+__all__ = ["execute", "plan_and_execute"]
+
+
+def _partition_rows(partition: str, a: CSR, b: CSR, threads: int) -> List[np.ndarray]:
+    n_parts = min(threads, max(1, a.nrows))
+    if partition == "block":
+        return block_partition(a.nrows, n_parts)
+    if partition == "cyclic":
+        return cyclic_partition(a.nrows, n_parts)
+    if partition == "balanced":
+        return balanced_partition(flops_per_row(a, b), n_parts)
+    raise ValueError("partition must be 'block', 'cyclic' or 'balanced'")
+
+
+def _run_band(
+    plan: ExecutionPlan,
+    band: RowBand,
+    a_band: CSR,
+    b: CSR,
+    m_band: CSR,
+    *,
+    semiring: Semiring,
+    impl: str,
+    counter: Optional[OpCounter],
+    backend: str,
+    b_csc: Optional[CSC],
+) -> CSR:
+    if plan.threads > 1:
+        parts = _partition_rows(plan.partition, a_band, b, plan.threads)
+        return run_partitioned(
+            a_band,
+            b,
+            m_band,
+            algo=band.algo,
+            parts=parts,
+            phases=plan.phases,
+            complement=plan.complement,
+            semiring=semiring,
+            impl=impl,
+            backend=backend,
+            counter=counter,
+            b_csc=b_csc,
+        )
+    return masked_spgemm(
+        a_band,
+        b,
+        m_band,
+        algo=band.algo,
+        phases=plan.phases,
+        complement=plan.complement,
+        semiring=semiring,
+        impl=impl,
+        counter=counter,
+        b_csc=b_csc,
+    )
+
+
+def _run_band_panelled(
+    plan: ExecutionPlan,
+    band: RowBand,
+    a_band: CSR,
+    b: CSR,
+    m_band: CSR,
+    *,
+    semiring: Semiring,
+    impl: str,
+    counter: Optional[OpCounter],
+    backend: str,
+) -> CSR:
+    """The memory-bounded path: one output-column panel at a time (panels
+    whose mask slice is empty are skipped under a plain mask — the mask
+    proves them empty; a complemented mask is dense exactly there)."""
+    out_rows: List[np.ndarray] = []
+    out_cols: List[np.ndarray] = []
+    out_vals: List[np.ndarray] = []
+    for lo, hi in column_panels(b.ncols, plan.panel_width):
+        m_panel = restrict_columns(m_band, lo, hi)
+        if m_panel.nnz == 0 and not plan.complement:
+            continue
+        b_panel = restrict_columns(b, lo, hi)
+        c_panel = _run_band(
+            plan,
+            band,
+            a_band,
+            b_panel,
+            m_panel,
+            semiring=semiring,
+            impl=impl,
+            counter=counter,
+            backend=backend,
+            b_csc=None,
+        )
+        r, c, v = c_panel.to_coo()
+        out_rows.append(r)
+        out_cols.append(c + lo)
+        out_vals.append(v)
+    if not out_rows:
+        return CSR.empty((a_band.nrows, b.ncols))
+    return CSR.from_coo(
+        (a_band.nrows, b.ncols),
+        np.concatenate(out_rows),
+        np.concatenate(out_cols),
+        np.concatenate(out_vals),
+    )
+
+
+def execute(
+    plan: ExecutionPlan,
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    semiring: Semiring = PLUS_TIMES,
+    impl: str = "auto",
+    counter: Optional[OpCounter] = None,
+    backend: str = "threads",
+    b_csc: Optional[CSC] = None,
+) -> CSR:
+    """Run ``C = M .* (A @ B)`` (``!M`` per the plan) as the plan dictates.
+
+    ``backend`` selects ``"threads"`` (a real thread pool when the plan asks
+    for more than one worker) or ``"serial"`` (the same partitioned code
+    path without threads — deterministic and GIL-friendly).  ``b_csc``
+    optionally amortises the CSC build for inner-product bands across calls.
+    """
+    plan.validate()
+    if backend not in ("threads", "serial"):
+        raise ValueError("backend must be 'threads' or 'serial'")
+    if a.ncols != b.nrows:
+        raise ValueError(
+            f"inner dimensions of A and B do not agree: {a.shape} @ {b.shape}"
+        )
+    if (a.nrows, b.ncols) != tuple(plan.shape):
+        raise ValueError(
+            f"plan shape {tuple(plan.shape)} does not match the operands' "
+            f"output shape ({a.nrows}, {b.ncols})"
+        )
+    if mask.shape != (a.nrows, b.ncols):
+        raise ValueError(
+            f"mask shape {mask.shape} must match the output shape "
+            f"({a.nrows}, {b.ncols})"
+        )
+    if not plan.bands or a.nrows == 0:
+        return CSR.empty(plan.shape)
+
+    if (
+        b_csc is None
+        and plan.panel_width is None
+        and any(band.algo == "inner" for band in plan.bands)
+    ):
+        b_csc = CSC.from_csr(b)
+
+    band_results: List[CSR] = []
+    for band in plan.bands:
+        if band.nrows == 0:
+            continue
+        full = band.is_full(a.nrows)
+        a_band = a if full else row_slice(a, band.rows)
+        m_band = mask if full else row_slice(mask, band.rows)
+        if plan.panel_width is not None:
+            c_band = _run_band_panelled(
+                plan, band, a_band, b, m_band,
+                semiring=semiring, impl=impl, counter=counter, backend=backend,
+            )
+        else:
+            c_band = _run_band(
+                plan, band, a_band, b, m_band,
+                semiring=semiring, impl=impl, counter=counter, backend=backend,
+                b_csc=b_csc if band.algo == "inner" else None,
+            )
+        band_results.append(c_band)
+
+    if len(band_results) == 1:
+        return band_results[0]
+    if not band_results:
+        return CSR.empty(plan.shape)
+    rows, cols, vals = zip(*(part.to_coo() for part in band_results))
+    return CSR.from_coo(
+        plan.shape,
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(vals),
+    )
+
+
+def plan_and_execute(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    machine: Optional[MachineConfig] = None,
+    complement: bool = False,
+    phases: Optional[int] = None,
+    semiring: Semiring = PLUS_TIMES,
+    impl: str = "auto",
+    counter: Optional[OpCounter] = None,
+    backend: str = "threads",
+    b_csc: Optional[CSC] = None,
+    planner: Optional["Planner"] = None,
+    **plan_kwargs,
+) -> CSR:
+    """Plan and immediately execute — the ``algo="auto"`` one-call path."""
+    from .planner import Planner
+
+    pl = (planner or Planner(machine or HASWELL)).plan(
+        a, b, mask, complement=complement, phases=phases, **plan_kwargs
+    )
+    return execute(
+        pl, a, b, mask,
+        semiring=semiring, impl=impl, counter=counter, backend=backend, b_csc=b_csc,
+    )

@@ -1,0 +1,199 @@
+"""The :class:`ExecutionPlan` — an explicit, inspectable record of *how* a
+masked SpGEMM will be executed.
+
+The paper's Section 9 names hybrid, regime-aware algorithm selection as the
+key future direction; this module is the data structure that direction hangs
+off.  A plan fixes every decision the runtime used to scatter across four
+competing entry points:
+
+* **row bands** — which algorithm runs which output rows (the per-row
+  regime split of Figure 7 / Section 4.3, generalising the old
+  ``masked_spgemm_hybrid``),
+* **phases** — the 1P/2P output-formation strategy of Section 6,
+* **partition / threads** — the row-parallel decomposition (Section 3's
+  coarse-grained parallelism, previously hard-wired into
+  ``parallel_masked_spgemm``),
+* **column panels** — the optional memory-bounding of the old
+  ``masked_spgemm_chunked``.
+
+Plans are produced by :class:`repro.engine.Planner` (cost-model driven) or
+constructed by hand, and consumed by :func:`repro.engine.execute`.  They are
+plain data: no matrix references, so a plan can be logged, serialised
+(:meth:`ExecutionPlan.as_dict`) and replayed on equal-shaped inputs.
+:meth:`ExecutionPlan.explain` renders the *why* — benchmarks and docs print
+it so algorithm choices are auditable rather than folklore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RowBand", "ExecutionPlan"]
+
+#: algorithms a plan may reference (kept in sync with repro.core by tests)
+_KNOWN_ALGOS = ("inner", "msa", "hash", "mca", "heap", "heapdot", "esc")
+_NO_COMPLEMENT = frozenset({"inner", "mca"})
+
+
+@dataclass
+class RowBand:
+    """A contiguous-or-scattered set of output rows bound to one algorithm."""
+
+    rows: np.ndarray  #: sorted global row indices this band owns
+    algo: str  #: kernel key ("msa", "hash", "mca", "inner", "esc", ...)
+    reason: str = ""  #: one-line rationale recorded by the planner
+    est_cycles: float = 0.0  #: modeled cycles for this band (0 if not modeled)
+
+    @property
+    def nrows(self) -> int:
+        return int(np.asarray(self.rows).size)
+
+    def is_full(self, total_rows: int) -> bool:
+        """Whether this band covers every output row ``[0, total_rows)``."""
+        r = np.asarray(self.rows)
+        return (
+            r.size == total_rows
+            and (total_rows == 0 or (int(r[0]) == 0 and int(r[-1]) == total_rows - 1))
+        )
+
+    def is_contiguous(self) -> bool:
+        r = np.asarray(self.rows)
+        if r.size <= 1:
+            return True
+        return int(r[-1]) - int(r[0]) + 1 == r.size and bool(np.all(np.diff(r) == 1))
+
+
+@dataclass
+class ExecutionPlan:
+    """Every decision needed to run ``C = M .* (A @ B)`` (or ``!M``).
+
+    ``bands`` must cover each output row exactly once.  ``estimates`` holds
+    the planner's modeled whole-problem seconds per candidate algorithm (for
+    :meth:`explain`); ``notes`` records free-form planner decisions.
+    """
+
+    shape: Tuple[int, int]  #: output (and mask) shape
+    bands: List[RowBand]
+    complement: bool = False
+    phases: int = 1  #: 1 (one-phase) or 2 (symbolic + numeric)
+    threads: int = 1
+    partition: str = "balanced"  #: "block" | "cyclic" | "balanced"
+    panel_width: Optional[int] = None  #: column-panel width, or None
+    machine: str = "haswell"  #: name of the MachineConfig the plan targets
+    mode: str = "auto"  #: "auto" | "ratio" | "forced"
+    estimates: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def algos(self) -> Tuple[str, ...]:
+        """Distinct algorithms used, ordered by first appearance."""
+        seen: List[str] = []
+        for band in self.bands:
+            if band.algo not in seen:
+                seen.append(band.algo)
+        return tuple(seen)
+
+    @property
+    def algo(self) -> Optional[str]:
+        """The single algorithm when the plan is unbanded, else None."""
+        a = self.algos()
+        return a[0] if len(a) == 1 else None
+
+    def nrows_per_algo(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for band in self.bands:
+            out[band.algo] = out.get(band.algo, 0) + band.nrows
+        return out
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "ExecutionPlan":
+        """Check internal consistency; raises ValueError on a broken plan."""
+        nrows = self.shape[0]
+        if self.phases not in (1, 2):
+            raise ValueError("phases must be 1 or 2")
+        if self.threads <= 0:
+            raise ValueError("threads must be positive")
+        if self.partition not in ("block", "cyclic", "balanced"):
+            raise ValueError("partition must be 'block', 'cyclic' or 'balanced'")
+        if self.panel_width is not None and self.panel_width <= 0:
+            raise ValueError("panel_width must be positive")
+        counts = np.zeros(nrows, dtype=np.int64)
+        for band in self.bands:
+            if band.algo not in _KNOWN_ALGOS:
+                raise ValueError(f"plan references unknown algorithm {band.algo!r}")
+            if self.complement and band.algo in _NO_COMPLEMENT:
+                raise ValueError(
+                    f"plan routes a complemented mask to {band.algo!r}, "
+                    "which does not support complement"
+                )
+            r = np.asarray(band.rows)
+            if r.size and (int(r.min()) < 0 or int(r.max()) >= nrows):
+                raise ValueError("band rows out of range")
+            np.add.at(counts, r, 1)
+        if self.bands and not bool(np.all(counts == 1)):
+            raise ValueError("plan bands must cover every output row exactly once")
+        if not self.bands and nrows != 0:
+            raise ValueError("plan has no bands but the output has rows")
+        return self
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-able summary (row sets abbreviated to counts)."""
+        return {
+            "shape": list(self.shape),
+            "complement": self.complement,
+            "phases": self.phases,
+            "threads": self.threads,
+            "partition": self.partition,
+            "panel_width": self.panel_width,
+            "machine": self.machine,
+            "mode": self.mode,
+            "bands": [
+                {
+                    "algo": band.algo,
+                    "nrows": band.nrows,
+                    "reason": band.reason,
+                    "est_cycles": band.est_cycles,
+                }
+                for band in self.bands
+            ],
+            "estimates_seconds": dict(self.estimates),
+            "notes": list(self.notes),
+        }
+
+    def explain(self) -> str:
+        """Human-readable account of what will run and why."""
+        nrows = max(1, self.shape[0])
+        lines = [
+            f"ExecutionPlan[{self.mode}] for {self.shape[0]}x{self.shape[1]} "
+            f"output on {self.machine} "
+            f"({'complemented' if self.complement else 'plain'} mask)",
+            f"  phases={self.phases}P  threads={self.threads} "
+            f"({self.partition} partition)  "
+            + (
+                f"column panels of width {self.panel_width}"
+                if self.panel_width
+                else "no column panels"
+            ),
+        ]
+        for i, band in enumerate(self.bands):
+            pct = 100.0 * band.nrows / nrows
+            cyc = f", ~{band.est_cycles:.3g} cycles" if band.est_cycles else ""
+            why = f" — {band.reason}" if band.reason else ""
+            lines.append(
+                f"  band {i}: algo={band.algo:<7s} rows={band.nrows}"
+                f" ({pct:.1f}%){cyc}{why}"
+            )
+        if self.estimates:
+            ranked = sorted(self.estimates.items(), key=lambda kv: kv[1])
+            pretty = "  <  ".join(f"{k} {v:.3e}s" for k, v in ranked)
+            lines.append(f"  modeled candidates (fastest first): {pretty}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.explain()

@@ -1,0 +1,337 @@
+"""The :class:`Planner` — turns (A, B, M, machine) into an
+:class:`~repro.engine.plan.ExecutionPlan`.
+
+This is where the machine cost model (:class:`repro.machine.RowCostModel`)
+finally *drives* execution instead of only narrating it: the planner
+evaluates every candidate algorithm's modeled per-row cycles, assigns each
+output row to the cheapest one (Figure 7's regime map, computed rather than
+eyeballed), decides the 1P/2P phase strategy, picks a row partition and
+thread count for the parallel executor, and — given a memory budget — adds
+the column panelling of the out-of-core path.
+
+Three banding policies:
+
+* ``"cost"`` (default) — per-row argmin over the cost model, with small
+  bands consolidated so dispatch overhead cannot swamp the win;
+* ``"ratio"`` — the ratio heuristics of the original hybrid dispatcher
+  (:func:`repro.core.hybrid.classify_rows`), kept for ablations;
+* ``"none"`` — one band, the modeled-cheapest whole-problem algorithm.
+
+Only algorithms with vectorized fast kernels are candidates: the heap
+schemes are reference-tier by design (the paper's algorithmic lower bound)
+and are plannable only as a forced ``algo=``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.hybrid import classify_rows
+from ..core.masked_spgemm import ALGO_LABELS, ALL_ALGOS, supports_complement
+from ..machine import HASWELL, MachineConfig, RowCostModel
+from .plan import ExecutionPlan, RowBand
+
+__all__ = ["Planner", "plan", "PLAN_CANDIDATES"]
+
+#: default candidate set: the fast-kernel algorithms the executor can run
+#: at full speed (heap/heapdot are reference-only and excluded).
+PLAN_CANDIDATES = ("inner", "msa", "hash", "mca", "esc")
+
+#: one-line regime rationale per algorithm (paper Sec. 4.3 / Fig. 7)
+_REASONS = {
+    "inner": "mask much sparser than the product work (pull regime)",
+    "mca": "inputs much sparser than the mask (compact accumulator regime)",
+    "msa": "comparable densities; dense accumulator is cache-cheap",
+    "hash": "comparable densities; compact hash beats an overflowing SPA",
+    "esc": "streaming expand-sort-compress cheapest (no accumulator traffic)",
+}
+
+_WORD = 8  # bytes per index/value word, as in the paper's analysis
+
+
+class Planner:
+    """Constructs execution plans from matrix statistics + the cost model.
+
+    Parameters
+    ----------
+    machine:
+        The :class:`MachineConfig` whose cost model and capacities drive
+        every choice.
+    candidates:
+        Algorithms the auto planner may select (default
+        :data:`PLAN_CANDIDATES`).
+    banding:
+        ``"cost"``, ``"ratio"`` or ``"none"`` (see module docs).
+    pull_ratio / push_ratio:
+        Thresholds for ``banding="ratio"`` (see
+        :func:`repro.core.hybrid.classify_rows`).
+    min_band_fraction:
+        Bands carrying less than this fraction of the modeled work are
+        folded into the remaining candidates (dispatch-overhead guard).
+    rows_per_thread:
+        Target rows per worker when choosing a thread count.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig = HASWELL,
+        *,
+        candidates: Optional[Sequence[str]] = None,
+        banding: str = "cost",
+        pull_ratio: float = 8.0,
+        push_ratio: float = 8.0,
+        min_band_fraction: float = 0.02,
+        rows_per_thread: int = 512,
+    ) -> None:
+        if banding not in ("cost", "ratio", "none"):
+            raise ValueError("banding must be 'cost', 'ratio' or 'none'")
+        self.machine = machine
+        self.candidates = tuple(candidates) if candidates is not None else PLAN_CANDIDATES
+        for c in self.candidates:
+            if c not in ALL_ALGOS:
+                raise ValueError(f"unknown candidate algorithm {c!r}")
+        self.banding = banding
+        self.pull_ratio = pull_ratio
+        self.push_ratio = push_ratio
+        self.min_band_fraction = min_band_fraction
+        self.rows_per_thread = rows_per_thread
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        a,
+        b,
+        mask,
+        *,
+        complement: bool = False,
+        algo: Optional[str] = None,
+        phases: Optional[int] = None,
+        threads: Optional[int] = None,
+        partition: Optional[str] = None,
+        panel_width: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> ExecutionPlan:
+        """Build a plan for ``C = M .* (A @ B)`` (``!M`` with complement).
+
+        Any of ``algo``, ``phases``, ``threads``, ``partition`` and
+        ``panel_width`` may be forced; everything left ``None`` (or
+        ``algo="auto"``) is decided by the cost model.  ``memory_budget_bytes``
+        turns on column panelling when the working set exceeds it.
+        """
+        if a.ncols != b.nrows:
+            raise ValueError(
+                f"inner dimensions of A and B do not agree: {a.shape} @ {b.shape}"
+            )
+        if mask.shape != (a.nrows, b.ncols):
+            raise ValueError(
+                f"mask shape {mask.shape} must match the output shape "
+                f"({a.nrows}, {b.ncols})"
+            )
+        if phases is not None and phases not in (1, 2):
+            raise ValueError("phases must be 1 or 2")
+        if algo is not None and algo.lower() == "auto":
+            algo = None
+
+        notes: list = []
+        if algo is not None:
+            bands, mode = self._forced_bands(a, algo, complement), "forced"
+            estimates: Dict[str, float] = {}
+            chosen_phases = 1 if phases is None else phases
+        else:
+            model = RowCostModel(a, b, mask, self.machine, complement=complement)
+            cand = [c for c in self.candidates if not complement or supports_complement(c)]
+            if complement and len(cand) < len(self.candidates):
+                dropped = [c for c in self.candidates if c not in cand]
+                notes.append(
+                    "complemented mask: dropped "
+                    + "/".join(ALGO_LABELS[c] for c in dropped)
+                    + " (no complement support)"
+                )
+            ests = {c: model.estimate(c, phases=1) for c in cand}
+            estimates = {
+                c: self.machine.seconds(e.total_cycles) for c, e in ests.items()
+            }
+            if self.banding == "ratio":
+                bands, mode = self._ratio_bands(a, b, mask, complement, notes), "ratio"
+            elif self.banding == "none":
+                bands, mode = self._single_band(a, ests), "auto"
+            else:
+                bands, mode = self._cost_bands(a, ests, notes), "auto"
+            chosen_phases = (
+                phases if phases is not None else self._pick_phases(model, bands, notes)
+            )
+
+        if threads is None:
+            threads = self._pick_threads(a.nrows, notes)
+        if partition is None:
+            partition = self._pick_partition(a, b, notes)
+        if panel_width is None and memory_budget_bytes is not None:
+            panel_width = self._pick_panel_width(b, mask, memory_budget_bytes, notes)
+        if mask.nnz == 0 and not complement:
+            notes.append("mask is empty: the output is empty regardless of algorithm")
+
+        return ExecutionPlan(
+            shape=(a.nrows, b.ncols),
+            bands=bands,
+            complement=complement,
+            phases=chosen_phases,
+            threads=threads,
+            partition=partition,
+            panel_width=panel_width,
+            machine=self.machine.name,
+            mode=mode,
+            estimates=estimates,
+            notes=notes,
+        ).validate()
+
+    # ------------------------------------------------------------------
+    # banding policies
+    # ------------------------------------------------------------------
+    def _forced_bands(self, a, algo: str, complement: bool):
+        key = algo.lower()
+        if key not in ALL_ALGOS:
+            raise ValueError(
+                f"unknown algorithm {algo!r}; expected one of {ALL_ALGOS}"
+            )
+        if complement and not supports_complement(key):
+            raise ValueError(
+                f"{ALGO_LABELS[key]} does not support complemented masks"
+            )
+        rows = np.arange(a.nrows, dtype=np.int64)
+        return [RowBand(rows=rows, algo=key, reason="forced by caller")]
+
+    def _single_band(self, a, ests):
+        if a.nrows == 0:
+            return []
+        best = min(ests, key=lambda c: float(ests[c].total_cycles))
+        return [
+            RowBand(
+                rows=np.arange(a.nrows, dtype=np.int64),
+                algo=best,
+                reason="modeled cheapest whole-problem algorithm",
+                est_cycles=float(ests[best].total_cycles),
+            )
+        ]
+
+    def _cost_bands(self, a, ests, notes):
+        nrows = a.nrows
+        if nrows == 0:
+            return []
+        cand = list(ests)
+        cycles = np.stack([ests[c].row_cycles for c in cand])  # (ncand, nrows)
+        winner = np.argmin(cycles, axis=0)
+        win_cycles = cycles[winner, np.arange(nrows)]
+        total = max(float(win_cycles.sum()), 1e-30)
+        # consolidate: drop candidates whose winning rows carry a negligible
+        # share of the modeled work, then re-pick among the survivors
+        shares = {
+            i: float(win_cycles[winner == i].sum()) / total for i in range(len(cand))
+        }
+        keep = [i for i, s in shares.items() if s >= self.min_band_fraction]
+        if not keep:
+            keep = [max(shares, key=shares.get)]
+        if len(keep) < len(cand):
+            folded = [cand[i] for i in range(len(cand)) if i not in keep and np.any(winner == i)]
+            if folded:
+                notes.append(
+                    "folded negligible bands (" + ", ".join(folded) + ") into survivors"
+                )
+            sub = np.argmin(cycles[keep], axis=0)
+            winner = np.asarray(keep)[sub]
+        bands = []
+        for i, c in enumerate(cand):
+            rows = np.flatnonzero(winner == i).astype(np.int64)
+            if rows.size == 0:
+                continue
+            bands.append(
+                RowBand(
+                    rows=rows,
+                    algo=c,
+                    reason=_REASONS.get(c, "modeled cheapest for these rows"),
+                    est_cycles=float(cycles[i, rows].sum()),
+                )
+            )
+        return bands
+
+    def _ratio_bands(self, a, b, mask, complement, notes):
+        classes = classify_rows(
+            a,
+            b,
+            mask,
+            self.machine,
+            pull_ratio=self.pull_ratio,
+            push_ratio=self.push_ratio,
+            complement=complement,
+        )
+        notes.append(
+            f"ratio banding (pull_ratio={self.pull_ratio}, "
+            f"push_ratio={self.push_ratio})"
+        )
+        return [
+            RowBand(
+                rows=np.asarray(rows, dtype=np.int64),
+                algo=algo,
+                reason=_REASONS.get(algo, "ratio-classified"),
+            )
+            for algo, rows in classes.items()
+        ]
+
+    # ------------------------------------------------------------------
+    # scalar decisions
+    # ------------------------------------------------------------------
+    def _pick_phases(self, model, bands, notes) -> int:
+        totals = {1: 0.0, 2: 0.0}
+        for band in bands:
+            for p in (1, 2):
+                est = model.estimate(band.algo, phases=p)
+                totals[p] += float(est.row_cycles[band.rows].sum())
+        chosen = 1 if totals[1] <= totals[2] else 2
+        other = 2 if chosen == 1 else 1
+        notes.append(
+            f"{chosen}P modeled {totals[other] / max(totals[chosen], 1e-30):.2f}x "
+            f"cheaper than {other}P"
+        )
+        return chosen
+
+    def _pick_threads(self, nrows: int, notes) -> int:
+        threads = int(min(self.machine.cores, max(1, nrows // self.rows_per_thread)))
+        if threads > 1:
+            notes.append(
+                f"{threads} threads (~{self.rows_per_thread} rows/worker, "
+                f"{self.machine.cores}-core {self.machine.name})"
+            )
+        return threads
+
+    def _pick_partition(self, a, b, notes) -> str:
+        from ..machine import flops_per_row
+
+        fl = flops_per_row(a, b).astype(np.float64)
+        mean = float(fl.mean()) if fl.size else 0.0
+        if mean <= 0:
+            return "block"
+        cv = float(fl.std()) / mean
+        if cv > 0.25:
+            notes.append(f"balanced partition (row-work CV {cv:.2f})")
+            return "balanced"
+        return "block"
+
+    def _pick_panel_width(self, b, mask, budget_bytes: int, notes):
+        if budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
+        ncols = b.ncols
+        footprint = 2 * (b.nnz + mask.nnz) * _WORD
+        if footprint <= budget_bytes or ncols == 0:
+            return None
+        width = max(1, int(ncols * budget_bytes / footprint))
+        notes.append(
+            f"column panels of width {width} "
+            f"(working set ~{footprint} B > budget {budget_bytes} B)"
+        )
+        return width
+
+
+def plan(a, b, mask, *, machine: MachineConfig = HASWELL, **kwargs) -> ExecutionPlan:
+    """One-shot convenience: ``Planner(machine).plan(a, b, mask, **kwargs)``."""
+    return Planner(machine).plan(a, b, mask, **kwargs)

@@ -46,10 +46,9 @@ def mxm(
     if mask is None:
         c = spgemm_saxpy_fast(a.csr, b.csr, semiring=semiring, counter=counter)
     elif desc.algo == "hybrid":
-        if desc.mask_complement:
-            raise ValueError("hybrid mxm does not support complemented masks")
         c = masked_spgemm_hybrid(
-            a.csr, b.csr, mask.csr, semiring=semiring, counter=counter
+            a.csr, b.csr, mask.csr, complement=desc.mask_complement,
+            semiring=semiring, counter=counter,
         )
     else:
         c = masked_spgemm(

@@ -1,6 +1,7 @@
-"""Row-parallel execution: partitioners and the thread-pool driver."""
+"""Row-parallel execution: partitioners and the partitioned runner the
+execution engine (:mod:`repro.engine`) drives for plans with threads > 1."""
 
-from .executor import parallel_masked_spgemm, row_slice
+from .executor import parallel_masked_spgemm, row_slice, run_partitioned
 from .partition import (
     balanced_partition,
     block_partition,
@@ -11,6 +12,7 @@ from .partition import (
 __all__ = [
     "parallel_masked_spgemm",
     "row_slice",
+    "run_partitioned",
     "balanced_partition",
     "block_partition",
     "chunk_schedule",

@@ -1,9 +1,18 @@
-"""Row-parallel masked SpGEMM driver.
+"""Row-parallel masked SpGEMM execution primitives.
 
-Executes ``C = M .* (A @ B)`` by partitioning output rows across workers and
-merging the per-partition results (patterns are disjoint by construction, so
-the merge is a concatenation).  Matches the paper's coarse-grained row
-parallelism; within-row parallelism is deliberately absent, as in the paper.
+This module provides the low-level partitioned runner the execution engine
+(:mod:`repro.engine`) uses for any plan with ``threads > 1``: output rows
+are partitioned across workers, each worker runs the planned kernel on its
+row slice, and the per-partition results — matrices *and* operation
+counters — are merged.  Patterns are disjoint by construction, so the
+matrix merge is a concatenation, and counter merging makes a parallel run
+report exactly the flops a serial run would.
+
+:func:`parallel_masked_spgemm` remains as the historical front door; it now
+builds a forced :class:`~repro.engine.ExecutionPlan` and hands it to the
+engine, so every execution path is planned and inspectable.  It matches the
+paper's coarse-grained row parallelism; within-row parallelism is
+deliberately absent, as in the paper.
 
 Caveat documented in DESIGN.md: under CPython's GIL the thread backend
 yields limited real speedup (NumPy releases the GIL inside large kernels, so
@@ -17,7 +26,7 @@ path without threads.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -25,19 +34,55 @@ from ..machine import OpCounter
 from ..semiring import PLUS_TIMES, Semiring
 from ..sparse import CSC, CSR
 from ..core.masked_spgemm import masked_spgemm
-from .partition import balanced_partition, block_partition, cyclic_partition
 
-__all__ = ["parallel_masked_spgemm", "row_slice"]
+__all__ = ["parallel_masked_spgemm", "run_partitioned", "row_slice"]
 
 
 def row_slice(mat: CSR, rows: np.ndarray) -> CSR:
     """CSR holding only the given rows (shape preserved, other rows empty).
-    Unlike ``select_rows`` this is a cheap contiguous slice when ``rows``
-    is a contiguous range."""
-    return mat.select_rows(rows)
+
+    When ``rows`` is a contiguous ascending range this is a cheap O(nrows)
+    slice of the index structure (no COO round trip; ``indices``/``data``
+    are views into the parent).  Scattered row sets fall back to
+    :meth:`CSR.select_rows`.
+    """
+    rows = np.asarray(rows)
+    contiguous = (
+        rows.size > 0
+        and int(rows[-1]) - int(rows[0]) + 1 == rows.size
+        and bool(np.all(np.diff(rows) >= 1))
+    )
+    if not contiguous:
+        return mat.select_rows(rows)
+    lo, hi = int(rows[0]), int(rows[-1]) + 1
+    start, stop = int(mat.indptr[lo]), int(mat.indptr[hi])
+    indptr = np.empty(mat.nrows + 1, dtype=mat.indptr.dtype)
+    indptr[: lo + 1] = 0
+    indptr[lo : hi + 1] = mat.indptr[lo : hi + 1] - start
+    indptr[hi:] = stop - start
+    return CSR(
+        mat.shape,
+        indptr,
+        mat.indices[start:stop],
+        mat.data[start:stop],
+        sorted_indices=mat.sorted_indices,
+        check=False,
+    )
 
 
-def _merge(parts: List[CSR], shape) -> CSR:
+def _merge(
+    parts: List[CSR],
+    shape,
+    *,
+    counters: Optional[Sequence[OpCounter]] = None,
+    counter: Optional[OpCounter] = None,
+) -> CSR:
+    """Concatenate disjoint per-partition results and fold the workers'
+    per-partition ``OpCounter``s into the caller's counter, so parallel
+    runs report the same operation totals as serial runs."""
+    if counter is not None and counters is not None:
+        for c in counters:
+            counter.merge(c)
     rows = []
     cols = []
     vals = []
@@ -53,6 +98,61 @@ def _merge(parts: List[CSR], shape) -> CSR:
     )
 
 
+def run_partitioned(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    algo: str,
+    parts: Sequence[np.ndarray],
+    phases: int = 1,
+    complement: bool = False,
+    semiring: Semiring = PLUS_TIMES,
+    impl: str = "auto",
+    backend: str = "threads",
+    counter: Optional[OpCounter] = None,
+    b_csc: Optional[CSC] = None,
+) -> CSR:
+    """Execute one algorithm over an explicit row partition.
+
+    The engine's workhorse for parallel plan bands: every partition runs
+    under its own :class:`OpCounter` (workers never share mutable state)
+    and :func:`_merge` folds them into ``counter`` at the end.
+    """
+    if backend not in ("threads", "serial"):
+        raise ValueError("backend must be 'threads' or 'serial'")
+    if b_csc is None and algo.lower() == "inner":
+        b_csc = CSC.from_csr(b)
+    counters = [OpCounter() for _ in parts]
+
+    def work(idx: int) -> CSR:
+        rows = parts[idx]
+        if np.asarray(rows).size == 0:
+            return CSR.empty((a.nrows, b.ncols))
+        return masked_spgemm(
+            row_slice(a, rows),
+            b,
+            row_slice(mask, rows),
+            algo=algo,
+            phases=phases,
+            complement=complement,
+            semiring=semiring,
+            impl=impl,
+            counter=counters[idx],
+            b_csc=b_csc,
+        )
+
+    if backend == "serial" or len(parts) == 1:
+        results = [work(i) for i in range(len(parts))]
+    else:
+        with ThreadPoolExecutor(max_workers=len(parts)) as pool:
+            results = list(pool.map(work, range(len(parts))))
+
+    return _merge(
+        results, (a.nrows, b.ncols), counters=counters, counter=counter
+    )
+
+
 def parallel_masked_spgemm(
     a: CSR,
     b: CSR,
@@ -61,6 +161,7 @@ def parallel_masked_spgemm(
     algo: str = "msa",
     threads: int = 4,
     partition: str = "balanced",
+    phases: int = 1,
     complement: bool = False,
     semiring: Semiring = PLUS_TIMES,
     impl: str = "auto",
@@ -71,49 +172,32 @@ def parallel_masked_spgemm(
 
     ``partition``: ``"block"``, ``"cyclic"`` or ``"balanced"`` (flops-
     weighted contiguous blocks).  ``backend``: ``"threads"`` or ``"serial"``.
+    ``algo="auto"`` lets the cost-model planner choose the algorithm (the
+    thread count and partition stay as forced here).
+
+    This is now a thin front over :mod:`repro.engine`: it builds a plan with
+    the given knobs forced and executes it.
     """
     if threads <= 0:
         raise ValueError("threads must be positive")
     if backend not in ("threads", "serial"):
         raise ValueError("backend must be 'threads' or 'serial'")
-    n_parts = min(threads, max(1, a.nrows))
-    if partition == "block":
-        parts = block_partition(a.nrows, n_parts)
-    elif partition == "cyclic":
-        parts = cyclic_partition(a.nrows, n_parts)
-    elif partition == "balanced":
-        from ..machine import flops_per_row
-
-        parts = balanced_partition(flops_per_row(a, b), n_parts)
-    else:
+    if partition not in ("block", "cyclic", "balanced"):
         raise ValueError("partition must be 'block', 'cyclic' or 'balanced'")
 
-    b_csc = CSC.from_csr(b) if algo.lower() == "inner" else None
-    counters = [OpCounter() for _ in parts]
+    from ..engine import Planner, execute
 
-    def work(idx: int) -> CSR:
-        rows = parts[idx]
-        if rows.size == 0:
-            return CSR.empty((a.nrows, b.ncols))
-        return masked_spgemm(
-            row_slice(a, rows),
-            b,
-            row_slice(mask, rows),
-            algo=algo,
-            complement=complement,
-            semiring=semiring,
-            impl=impl,
-            counter=counters[idx],
-            b_csc=b_csc,
-        )
-
-    if backend == "serial" or n_parts == 1:
-        results = [work(i) for i in range(len(parts))]
-    else:
-        with ThreadPoolExecutor(max_workers=n_parts) as pool:
-            results = list(pool.map(work, range(len(parts))))
-
-    if counter is not None:
-        for c in counters:
-            counter.merge(c)
-    return _merge(results, (a.nrows, b.ncols))
+    pl = Planner().plan(
+        a,
+        b,
+        mask,
+        algo=None if algo.lower() == "auto" else algo,
+        phases=phases,
+        complement=complement,
+        threads=min(threads, max(1, a.nrows)),
+        partition=partition,
+    )
+    return execute(
+        pl, a, b, mask,
+        semiring=semiring, impl=impl, counter=counter, backend=backend,
+    )

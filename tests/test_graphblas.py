@@ -141,11 +141,14 @@ class TestMxm:
         keep[0, 0] = keep[29, 34] = True
         assert np.allclose(got[~keep & ~mask_zero], want[~keep & ~mask_zero])
 
-    def test_hybrid_rejects_complement(self, abm):
+    def test_hybrid_complement(self, abm):
+        """Hybrid mxm supports complemented masks: the classifier routes
+        every row away from inner/mca (which lack complement support)."""
         a, b, m = abm
-        with pytest.raises(ValueError, match="complement"):
-            gb.mxm(a, b, mask=m,
+        c = gb.mxm(a, b, mask=m,
                    desc=gb.Descriptor(algo="hybrid", mask_complement=True))
+        want = (a.to_dense() @ b.to_dense()) * (m.to_dense() == 0)
+        assert np.allclose(c.to_dense(), want)
 
     def test_2p_descriptor(self, abm):
         a, b, m = abm

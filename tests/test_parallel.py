@@ -12,6 +12,7 @@ from repro.parallel import (
     cyclic_partition,
     parallel_masked_spgemm,
 )
+from repro.parallel.executor import row_slice
 
 from .conftest import assert_csr_equal, random_csr
 
@@ -74,6 +75,53 @@ class TestPartitioners:
             cyclic_partition(10, -1)
         with pytest.raises(ValueError):
             balanced_partition(np.ones(4), 0)
+
+
+class TestRowSlice:
+    """row_slice must agree with select_rows and take the contiguous fast
+    path (views, not copies) for range partitions."""
+
+    def test_contiguous_matches_select_rows(self):
+        a = random_csr(30, 20, 4, seed=71)
+        for lo, hi in [(0, 30), (0, 1), (5, 12), (29, 30), (7, 7)]:
+            rows = np.arange(lo, hi, dtype=np.int64)
+            got = row_slice(a, rows)
+            want = a.select_rows(rows)
+            assert got.shape == want.shape
+            assert np.array_equal(got.indptr, want.indptr)
+            assert np.array_equal(got.indices, want.indices)
+            assert np.array_equal(got.data, want.data)
+
+    def test_contiguous_fast_path_shares_buffers(self):
+        a = random_csr(30, 20, 4, seed=72)
+        rows = np.arange(5, 15, dtype=np.int64)
+        sliced = row_slice(a, rows)
+        # views into the parent's arrays, not copies
+        assert sliced.indices.base is not None
+        assert np.shares_memory(sliced.indices, a.indices)
+        assert np.shares_memory(sliced.data, a.data)
+
+    def test_scattered_falls_back(self):
+        a = random_csr(30, 20, 4, seed=73)
+        rows = np.array([2, 9, 3, 17], dtype=np.int64)  # unsorted, gappy
+        got = row_slice(a, rows)
+        want = a.select_rows(rows)
+        assert np.array_equal(got.indptr, want.indptr)
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.data, want.data)
+
+    def test_strided_not_treated_as_contiguous(self):
+        a = random_csr(24, 16, 3, seed=74)
+        rows = np.arange(0, 24, 2, dtype=np.int64)  # cyclic partition shape
+        got = row_slice(a, rows)
+        want = a.select_rows(rows)
+        assert np.array_equal(got.indices, want.indices)
+        assert np.array_equal(got.data, want.data)
+
+    def test_empty_rows(self):
+        a = random_csr(10, 8, 2, seed=75)
+        got = row_slice(a, np.array([], dtype=np.int64))
+        assert got.shape == a.shape and got.nnz == 0
 
 
 class TestParallelDriver:
