@@ -54,6 +54,7 @@ def ktruss(
     max_iters: int = 100,
     counter: Optional[OpCounter] = None,
     call_log: Optional[list] = None,
+    backend: Optional[str] = None,
 ) -> KTrussResult:
     """Compute the ``k``-truss of the undirected graph ``a``.
 
@@ -64,7 +65,9 @@ def ktruss(
 
     ``call_log``, if given, receives one ``(a, b, mask, complement)`` tuple
     per masked SpGEMM call so benches can model every scheme from a single
-    recorded run.
+    recorded run.  ``backend`` (``algo="auto"`` only) forces the execution
+    backend of each iteration's masked SpGEMM — iterative apps like this
+    are exactly where the persistent process pool amortises its spawn cost.
     """
     if k < 3:
         raise ValueError("k must be >= 3")
@@ -87,6 +90,7 @@ def ktruss(
         s = masked_spgemm(
             cur, cur, cur, algo=algo, impl=impl, phases=phases,
             semiring=PLUS_PAIR, counter=counter,
+            backend=backend if algo == "auto" else None,
         )
         spgemm_time += time.perf_counter() - t1
         # keep edges of cur whose support >= k-2; edges with zero support

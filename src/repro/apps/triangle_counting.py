@@ -47,11 +47,11 @@ def _prepare(a: CSR, relabel: bool) -> CSR:
 
 def triangle_count(
     a: CSR, *, algo: str = "auto", relabel: bool = True, impl: str = "auto",
-    phases: int = 1,
+    phases: int = 1, backend: Optional[str] = None,
 ) -> int:
     """Number of triangles in the undirected graph with adjacency ``a``."""
     return triangle_count_detail(
-        a, algo=algo, relabel=relabel, impl=impl, phases=phases
+        a, algo=algo, relabel=relabel, impl=impl, phases=phases, backend=backend
     ).triangles
 
 
@@ -64,8 +64,13 @@ def triangle_count_detail(
     phases: int = 1,
     counter: Optional[OpCounter] = None,
     call_log: Optional[list] = None,
+    backend: Optional[str] = None,
 ) -> TriangleCountResult:
-    """Triangle counting with timing/counter detail for the benches."""
+    """Triangle counting with timing/counter detail for the benches.
+
+    ``backend`` (``algo="auto"`` only) forces the execution backend of the
+    underlying masked SpGEMM; ``None`` lets the planner's cost model pick.
+    """
     t0 = time.perf_counter()
     low = _prepare(a, relabel)
     counter = counter if counter is not None else OpCounter()
@@ -81,6 +86,7 @@ def triangle_count_detail(
         phases=phases,
         semiring=PLUS_PAIR,
         counter=counter,
+        backend=backend if algo == "auto" else None,
     )
     t2 = time.perf_counter()
     tri = int(round(reduce_sum(c)))

@@ -1,5 +1,6 @@
 """Vectorized NumPy fast paths for the paper's algorithms."""
 
+from .arena import Lease, ScratchArena, arena_stats, clear_arena, get_arena
 from .esc_kernel import masked_spgemm_esc_fast
 from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks, row_keys
 from .hash_kernel import VectorHashTable, masked_spgemm_hash_fast
@@ -9,6 +10,11 @@ from .msa_kernel import masked_spgemm_msa_fast
 from .saxpy_kernel import masked_spgemm_multiply_then_mask, spgemm_saxpy_fast
 
 __all__ = [
+    "Lease",
+    "ScratchArena",
+    "arena_stats",
+    "clear_arena",
+    "get_arena",
     "DEFAULT_FLOP_BUDGET",
     "expand_products",
     "iter_row_blocks",

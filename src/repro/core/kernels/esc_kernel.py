@@ -27,6 +27,7 @@ import numpy as np
 from ...machine import OpCounter
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSR
+from .arena import get_arena
 from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks, row_keys
 
 __all__ = ["masked_spgemm_esc_fast"]
@@ -53,41 +54,45 @@ def masked_spgemm_esc_fast(
     out_rows = []
     out_cols = []
     out_vals = []
-    for lo, hi in iter_row_blocks(a, b, flop_budget):
-        prod_rows, prod_cols, prod_vals = expand_products(a, b, lo, hi, semiring)
-        if prod_rows.shape[0] == 0:
-            continue
-        p_keys = row_keys(prod_rows, prod_cols, n)
-        if counter is not None:
-            counter.accum_inserts += int(p_keys.shape[0])
-        # --- mask filter (between expand and sort) ---
-        if m_keys.shape[0]:
-            pos = np.searchsorted(m_keys, p_keys)
-            pos_c = np.minimum(pos, m_keys.shape[0] - 1)
-            inside = m_keys[pos_c] == p_keys
-        else:
-            inside = np.zeros(p_keys.shape[0], dtype=bool)
-        keep = ~inside if complement else inside
-        p_keys = p_keys[keep]
-        vals = prod_vals[keep]
-        if counter is not None:
-            counter.flops += int(p_keys.shape[0])
-        if p_keys.shape[0] == 0:
-            continue
-        # --- sort ---
-        order = np.argsort(p_keys, kind="stable")
-        p_keys = p_keys[order]
-        vals = vals[order]
-        # --- compress (segmented semiring reduction) ---
-        boundary = np.empty(p_keys.shape[0], dtype=bool)
-        boundary[0] = True
-        boundary[1:] = p_keys[1:] != p_keys[:-1]
-        starts = np.flatnonzero(boundary)
-        red = semiring.add_ufunc.reduceat(vals, starts)
-        heads = p_keys[starts]
-        out_rows.append(heads // n)
-        out_cols.append(heads % n)
-        out_vals.append(np.asarray(red, dtype=np.float64))
+    # boundary scratch is fully overwritten before being read, so it is
+    # leased uninitialised (fill=None) and never needs resetting
+    arena = get_arena()
+    with arena.lease("esc.boundary", np.bool_, None) as boundary_lease:
+        for lo, hi in iter_row_blocks(a, b, flop_budget):
+            prod_rows, prod_cols, prod_vals = expand_products(a, b, lo, hi, semiring)
+            if prod_rows.shape[0] == 0:
+                continue
+            p_keys = row_keys(prod_rows, prod_cols, n)
+            if counter is not None:
+                counter.accum_inserts += int(p_keys.shape[0])
+            # --- mask filter (between expand and sort) ---
+            if m_keys.shape[0]:
+                pos = np.searchsorted(m_keys, p_keys)
+                pos_c = np.minimum(pos, m_keys.shape[0] - 1)
+                inside = m_keys[pos_c] == p_keys
+            else:
+                inside = np.zeros(p_keys.shape[0], dtype=bool)
+            keep = ~inside if complement else inside
+            p_keys = p_keys[keep]
+            vals = prod_vals[keep]
+            if counter is not None:
+                counter.flops += int(p_keys.shape[0])
+            if p_keys.shape[0] == 0:
+                continue
+            # --- sort ---
+            order = np.argsort(p_keys, kind="stable")
+            p_keys = p_keys[order]
+            vals = vals[order]
+            # --- compress (segmented semiring reduction) ---
+            boundary = boundary_lease.require(p_keys.shape[0])
+            boundary[0] = True
+            np.not_equal(p_keys[1:], p_keys[:-1], out=boundary[1:])
+            starts = np.flatnonzero(boundary)
+            red = semiring.add_ufunc.reduceat(vals, starts)
+            heads = p_keys[starts]
+            out_rows.append(heads // n)
+            out_cols.append(heads % n)
+            out_vals.append(np.asarray(red, dtype=np.float64))
 
     if out_rows:
         rows = np.concatenate(out_rows)

@@ -33,6 +33,7 @@ import numpy as np
 from ...machine import OpCounter
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSR
+from .arena import get_arena
 from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks, row_keys
 
 __all__ = ["masked_spgemm_hash_fast", "VectorHashTable"]
@@ -42,14 +43,30 @@ _EMPTY = np.int64(-1)
 
 
 class VectorHashTable:
-    """Batched open-addressing hash set/map over int64 keys."""
+    """Batched open-addressing hash set/map over int64 keys.
 
-    def __init__(self, max_keys: int, counter: Optional[OpCounter] = None):
+    ``keys_lease`` optionally supplies the backing key array from a scratch
+    arena lease (all-``_EMPTY`` per the arena's fill invariant); the caller
+    is then responsible for resetting the occupied slots afterwards.  Every
+    slot :meth:`insert` writes ends up as some key's returned slot, so
+    clearing the returned slots restores the all-empty state exactly.
+    """
+
+    def __init__(
+        self,
+        max_keys: int,
+        counter: Optional[OpCounter] = None,
+        *,
+        keys_lease=None,
+    ):
         need = max(4, int(max_keys) * 4)  # load factor 0.25
         cap = 1 << (need - 1).bit_length()
         self.cap = cap
         self.mask = np.int64(cap - 1)
-        self.keys = np.full(cap, _EMPTY, dtype=np.int64)
+        if keys_lease is not None:
+            self.keys = keys_lease.require(cap)
+        else:
+            self.keys = np.full(cap, _EMPTY, dtype=np.int64)
         self.counter = counter
 
     def _hash(self, keys: np.ndarray) -> np.ndarray:
@@ -135,53 +152,69 @@ def masked_spgemm_hash_fast(
     out_cols = []
     out_vals = []
 
-    for lo, hi in iter_row_blocks(a, b, flop_budget):
-        mlo, mhi = int(mask.indptr[lo]), int(mask.indptr[hi])
-        m_rows = np.repeat(
-            np.arange(lo, hi, dtype=np.int64), np.diff(mask.indptr[lo : hi + 1])
-        )
-        m_cols = mask.indices[mlo:mhi]
-        m_keys = row_keys(m_rows, m_cols, n)
-        prod_rows, prod_cols, prod_vals = expand_products(a, b, lo, hi, semiring)
-        p_keys = row_keys(prod_rows, prod_cols, n)
-        if counter is not None:
-            counter.accum_allowed += int(m_keys.shape[0])
-            counter.accum_inserts += int(p_keys.shape[0])
-
-        if m_keys.shape[0] == 0 and not complement:
-            continue
-        table = VectorHashTable(max(1, m_keys.shape[0]), counter)
-        m_slots = table.insert(m_keys) if m_keys.shape[0] else np.empty(0, np.int64)
-
-        if complement:
-            found, _ = table.lookup(p_keys) if p_keys.shape[0] else (
-                np.empty(0, bool),
-                None,
+    # table scratch leased from the arena: the key/value/set arrays stay hot
+    # across blocks *and* across calls; each block resets exactly the slots
+    # it occupied (all writes land in m_slots — see VectorHashTable docs)
+    arena = get_arena()
+    with arena.lease("hash.keys", np.int64, _EMPTY) as keys_lease, \
+            arena.lease(("hash.vals", float(ident)), np.float64, ident) as vals_lease, \
+            arena.lease("hash.set", np.bool_, False) as set_lease:
+        for lo, hi in iter_row_blocks(a, b, flop_budget):
+            mlo, mhi = int(mask.indptr[lo]), int(mask.indptr[hi])
+            m_rows = np.repeat(
+                np.arange(lo, hi, dtype=np.int64), np.diff(mask.indptr[lo : hi + 1])
             )
-            keep = ~found
-            keys, vals = _sort_reduce(p_keys[keep], prod_vals[keep], semiring)
+            m_cols = mask.indices[mlo:mhi]
+            m_keys = row_keys(m_rows, m_cols, n)
+            prod_rows, prod_cols, prod_vals = expand_products(a, b, lo, hi, semiring)
+            p_keys = row_keys(prod_rows, prod_cols, n)
             if counter is not None:
-                counter.flops += int(keep.sum())
-                counter.accum_removes += int(keys.shape[0])
-            out_rows.append(keys // n)
-            out_cols.append(keys % n)
-            out_vals.append(vals)
-        else:
-            vals_tab = np.full(table.cap, ident, dtype=np.float64)
-            set_tab = np.zeros(table.cap, dtype=bool)
-            if p_keys.shape[0]:
-                found, slots = table.lookup(p_keys)
-                kept = slots[found]
-                add_at(vals_tab, kept, prod_vals[found])
-                set_tab[kept] = True
+                counter.accum_allowed += int(m_keys.shape[0])
+                counter.accum_inserts += int(p_keys.shape[0])
+
+            if m_keys.shape[0] == 0 and not complement:
+                continue
+            table = VectorHashTable(
+                max(1, m_keys.shape[0]), counter, keys_lease=keys_lease
+            )
+            m_slots = (
+                table.insert(m_keys) if m_keys.shape[0] else np.empty(0, np.int64)
+            )
+
+            if complement:
+                found, _ = table.lookup(p_keys) if p_keys.shape[0] else (
+                    np.empty(0, bool),
+                    None,
+                )
+                keep = ~found
+                keys, vals = _sort_reduce(p_keys[keep], prod_vals[keep], semiring)
                 if counter is not None:
-                    counter.flops += int(found.sum())
-            emit = set_tab[m_slots]
-            if counter is not None:
-                counter.accum_removes += int(m_slots.shape[0])
-            out_rows.append(m_rows[emit])
-            out_cols.append(m_cols[emit])
-            out_vals.append(vals_tab[m_slots[emit]])
+                    counter.flops += int(keep.sum())
+                    counter.accum_removes += int(keys.shape[0])
+                out_rows.append(keys // n)
+                out_cols.append(keys % n)
+                out_vals.append(vals)
+                table.keys[m_slots] = _EMPTY
+            else:
+                vals_tab = vals_lease.require(table.cap)
+                set_tab = set_lease.require(table.cap)
+                if p_keys.shape[0]:
+                    found, slots = table.lookup(p_keys)
+                    kept = slots[found]
+                    add_at(vals_tab, kept, prod_vals[found])
+                    set_tab[kept] = True
+                    if counter is not None:
+                        counter.flops += int(found.sum())
+                emit = set_tab[m_slots]
+                if counter is not None:
+                    counter.accum_removes += int(m_slots.shape[0])
+                out_rows.append(m_rows[emit])
+                out_cols.append(m_cols[emit])
+                out_vals.append(vals_tab[m_slots[emit]])
+                # dirty-slot reset: every touched slot is in m_slots
+                vals_tab[m_slots] = ident
+                set_tab[m_slots] = False
+                table.keys[m_slots] = _EMPTY
 
     if out_rows:
         rows = np.concatenate(out_rows)

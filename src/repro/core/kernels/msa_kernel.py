@@ -12,7 +12,10 @@ The fast counterpart of Algorithm 2: per row block it
    keeps the row sorted exactly as the reference does.
 
 The dense arrays cover ``block_rows x ncols`` and are reused across blocks —
-the same "dirty-cell reset" trick the scalar MSA uses, amortised.
+the same "dirty-cell reset" trick the scalar MSA uses, amortised — and,
+via the scratch arena (:mod:`repro.core.kernels.arena`), across *calls*:
+iterative workloads re-lease the same state/value buffers instead of
+reallocating and re-zeroing them every invocation.
 
 The complemented variant flips step 1/2's membership test and gathers
 through the set of actually-touched positions instead of the mask.
@@ -27,6 +30,7 @@ import numpy as np
 from ...machine import OpCounter
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSR
+from .arena import get_arena
 from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks
 
 __all__ = ["masked_spgemm_msa_fast"]
@@ -56,10 +60,6 @@ def masked_spgemm_msa_fast(
     out_cols = []
     out_vals = []
 
-    # dense per-block accumulators, addressed by local_row * n + col
-    state: Optional[np.ndarray] = None
-    values: Optional[np.ndarray] = None
-
     def blocks():
         # flop-budget blocks, further split so width * n dense cells fit the
         # dense budget (the MSA's working set)
@@ -67,12 +67,40 @@ def masked_spgemm_msa_fast(
             for sub in range(blo, bhi, max_width):
                 yield sub, min(bhi, sub + max_width)
 
-    for lo, hi in blocks():
+    # dense per-block accumulators, addressed by local_row * n + col; leased
+    # from the arena so iterative callers reuse them across invocations (the
+    # per-block dirty-cell resets below are exactly the arena's cleanliness
+    # contract)
+    arena = get_arena()
+    with arena.lease("msa.state", np.bool_, False) as state_lease, \
+            arena.lease(("msa.values", float(ident)), np.float64, ident) as values_lease:
+        _msa_blocks(
+            a, b, mask, blocks(), n, complement, semiring, counter, add_at,
+            ident, state_lease, values_lease, out_rows, out_cols, out_vals,
+        )
+
+    if out_rows:
+        rows = np.concatenate(out_rows)
+        cols = np.concatenate(out_cols)
+        vals = np.concatenate(out_vals)
+    else:
+        rows = cols = np.empty(0, dtype=np.int64)
+        vals = np.empty(0, dtype=np.float64)
+    if counter is not None:
+        counter.output_nnz += int(rows.shape[0])
+    return CSR.from_coo((a.nrows, n), rows, cols, vals)
+
+
+def _msa_blocks(
+    a, b, mask, blocks, n, complement, semiring, counter, add_at, ident,
+    state_lease, values_lease, out_rows, out_cols, out_vals,
+):
+    """The per-block MSA loop over leased dense scratch."""
+    for lo, hi in blocks:
         width = hi - lo
         need = width * n
-        if state is None or state.shape[0] < need:
-            state = np.zeros(need, dtype=bool)
-            values = np.full(need, ident, dtype=np.float64)
+        state = state_lease.require(need)
+        values = values_lease.require(need)
         mlo, mhi = int(mask.indptr[lo]), int(mask.indptr[hi])
         m_rows_local = (
             np.repeat(np.arange(lo, hi, dtype=np.int64), np.diff(mask.indptr[lo : hi + 1]))
@@ -126,14 +154,3 @@ def masked_spgemm_msa_fast(
             if counter is not None:
                 counter.accum_removes += int(m_flat.shape[0])
                 counter.spa_resets += int(m_flat.shape[0])
-
-    if out_rows:
-        rows = np.concatenate(out_rows)
-        cols = np.concatenate(out_cols)
-        vals = np.concatenate(out_vals)
-    else:
-        rows = cols = np.empty(0, dtype=np.int64)
-        vals = np.empty(0, dtype=np.float64)
-    if counter is not None:
-        counter.output_nnz += int(rows.shape[0])
-    return CSR.from_coo((a.nrows, n), rows, cols, vals)

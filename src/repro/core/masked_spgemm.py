@@ -111,6 +111,7 @@ def masked_spgemm(
     b_csc: Optional[CSC] = None,
     orientation: str = "row",
     machine: Optional[MachineConfig] = None,
+    backend: Optional[str] = None,
 ) -> CSR:
     """Compute ``C = M .* (A @ B)`` (``!M`` with ``complement=True``).
 
@@ -145,6 +146,11 @@ def masked_spgemm(
     machine:
         :class:`MachineConfig` the ``"auto"`` planner targets (default
         Haswell); ignored for explicit algorithms.
+    backend:
+        Execution backend for ``algo="auto"``: ``None`` lets the planner's
+        cost model choose (``serial`` | ``thread`` | ``process``), a string
+        forces it.  Explicit algorithms run in-process; use
+        :func:`repro.parallel.parallel_masked_spgemm` to parallelise them.
     """
     if orientation not in ("row", "column"):
         raise ValueError("orientation must be 'row' or 'column'")
@@ -161,6 +167,7 @@ def masked_spgemm(
             counter=counter,
             orientation="row",
             machine=machine,
+            backend=backend,
         )
         return ct.transpose()
     key = algo.lower()
@@ -197,6 +204,7 @@ def masked_spgemm(
             semiring=semiring,
             impl=impl,
             counter=counter,
+            backend=backend,
             b_csc=b_csc,
         )
     phases = 1 if phases is None else phases

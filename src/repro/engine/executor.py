@@ -3,8 +3,9 @@
 This is the single execution path behind every front door
 (``masked_spgemm(algo="auto")``, ``masked_spgemm_hybrid``,
 ``masked_spgemm_chunked``, ``parallel_masked_spgemm``): row bands are
-sliced out, optionally cut into column panels, run serially or across a
-thread pool per the plan, and the disjoint partial results are merged by
+sliced out, optionally cut into column panels, run serially, across a
+thread pool, or across the shared-memory process pool per the plan's
+``backend``, and the disjoint partial results are merged by
 concatenation.  One :class:`~repro.machine.OpCounter` is threaded through
 every stage — symbolic sweeps, per-partition workers and per-panel calls
 all charge the same counter, so a planned run reports exactly the work a
@@ -20,7 +21,7 @@ import numpy as np
 from ..core.chunked import column_panels, restrict_columns
 from ..core.masked_spgemm import masked_spgemm
 from ..machine import HASWELL, MachineConfig, OpCounter, flops_per_row
-from ..parallel.executor import row_slice, run_partitioned
+from ..parallel.executor import normalize_backend, row_slice, run_partitioned
 from ..parallel.partition import (
     balanced_partition,
     block_partition,
@@ -145,19 +146,21 @@ def execute(
     semiring: Semiring = PLUS_TIMES,
     impl: str = "auto",
     counter: Optional[OpCounter] = None,
-    backend: str = "threads",
+    backend: Optional[str] = None,
     b_csc: Optional[CSC] = None,
 ) -> CSR:
     """Run ``C = M .* (A @ B)`` (``!M`` per the plan) as the plan dictates.
 
-    ``backend`` selects ``"threads"`` (a real thread pool when the plan asks
-    for more than one worker) or ``"serial"`` (the same partitioned code
-    path without threads — deterministic and GIL-friendly).  ``b_csc``
+    ``backend=None`` (default) follows the plan's own ``backend`` field;
+    passing ``"serial"``, ``"thread"`` (alias ``"threads"``) or
+    ``"process"`` overrides it.  ``serial`` runs the partitioned code path
+    without workers (deterministic and GIL-friendly), ``thread`` uses a
+    thread pool, and ``process`` dispatches to the shared-memory worker
+    pool (:mod:`repro.parallel.pool`) with zero-copy operands.  ``b_csc``
     optionally amortises the CSC build for inner-product bands across calls.
     """
     plan.validate()
-    if backend not in ("threads", "serial"):
-        raise ValueError("backend must be 'threads' or 'serial'")
+    backend = normalize_backend(plan.backend if backend is None else backend)
     if a.ncols != b.nrows:
         raise ValueError(
             f"inner dimensions of A and B do not agree: {a.shape} @ {b.shape}"
@@ -226,7 +229,7 @@ def plan_and_execute(
     semiring: Semiring = PLUS_TIMES,
     impl: str = "auto",
     counter: Optional[OpCounter] = None,
-    backend: str = "threads",
+    backend: Optional[str] = None,
     b_csc: Optional[CSC] = None,
     planner: Optional["Planner"] = None,
     **plan_kwargs,

@@ -10,9 +10,10 @@ competing entry points:
   regime split of Figure 7 / Section 4.3, generalising the old
   ``masked_spgemm_hybrid``),
 * **phases** — the 1P/2P output-formation strategy of Section 6,
-* **partition / threads** — the row-parallel decomposition (Section 3's
-  coarse-grained parallelism, previously hard-wired into
-  ``parallel_masked_spgemm``),
+* **partition / threads / backend** — the row-parallel decomposition
+  (Section 3's coarse-grained parallelism, previously hard-wired into
+  ``parallel_masked_spgemm``) and which executor carries it out
+  (``serial`` | ``thread`` | ``process`` — the shared-memory worker pool),
 * **column panels** — the optional memory-bounding of the old
   ``masked_spgemm_chunked``.
 
@@ -81,6 +82,7 @@ class ExecutionPlan:
     phases: int = 1  #: 1 (one-phase) or 2 (symbolic + numeric)
     threads: int = 1
     partition: str = "balanced"  #: "block" | "cyclic" | "balanced"
+    backend: str = "thread"  #: "serial" | "thread" | "process"
     panel_width: Optional[int] = None  #: column-panel width, or None
     machine: str = "haswell"  #: name of the MachineConfig the plan targets
     mode: str = "auto"  #: "auto" | "ratio" | "forced"
@@ -118,6 +120,8 @@ class ExecutionPlan:
             raise ValueError("threads must be positive")
         if self.partition not in ("block", "cyclic", "balanced"):
             raise ValueError("partition must be 'block', 'cyclic' or 'balanced'")
+        if self.backend not in ("serial", "thread", "process"):
+            raise ValueError("backend must be 'serial', 'thread' or 'process'")
         if self.panel_width is not None and self.panel_width <= 0:
             raise ValueError("panel_width must be positive")
         counts = np.zeros(nrows, dtype=np.int64)
@@ -148,6 +152,7 @@ class ExecutionPlan:
             "phases": self.phases,
             "threads": self.threads,
             "partition": self.partition,
+            "backend": self.backend,
             "panel_width": self.panel_width,
             "machine": self.machine,
             "mode": self.mode,
@@ -172,7 +177,7 @@ class ExecutionPlan:
             f"output on {self.machine} "
             f"({'complemented' if self.complement else 'plain'} mask)",
             f"  phases={self.phases}P  threads={self.threads} "
-            f"({self.partition} partition)  "
+            f"({self.partition} partition, {self.backend} backend)  "
             + (
                 f"column panels of width {self.panel_width}"
                 if self.panel_width

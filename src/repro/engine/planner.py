@@ -30,7 +30,8 @@ import numpy as np
 
 from ..core.hybrid import classify_rows
 from ..core.masked_spgemm import ALGO_LABELS, ALL_ALGOS, supports_complement
-from ..machine import HASWELL, MachineConfig, RowCostModel
+from ..machine import HASWELL, MachineConfig, RowCostModel, total_flops
+from ..parallel.executor import normalize_backend
 from .plan import ExecutionPlan, RowBand
 
 __all__ = ["Planner", "plan", "PLAN_CANDIDATES"]
@@ -110,15 +111,19 @@ class Planner:
         phases: Optional[int] = None,
         threads: Optional[int] = None,
         partition: Optional[str] = None,
+        backend: Optional[str] = None,
         panel_width: Optional[int] = None,
         memory_budget_bytes: Optional[int] = None,
     ) -> ExecutionPlan:
         """Build a plan for ``C = M .* (A @ B)`` (``!M`` with complement).
 
-        Any of ``algo``, ``phases``, ``threads``, ``partition`` and
-        ``panel_width`` may be forced; everything left ``None`` (or
+        Any of ``algo``, ``phases``, ``threads``, ``partition``, ``backend``
+        and ``panel_width`` may be forced; everything left ``None`` (or
         ``algo="auto"``) is decided by the cost model.  ``memory_budget_bytes``
-        turns on column panelling when the working set exceeds it.
+        turns on column panelling when the working set exceeds it.  The
+        backend heuristic picks ``"process"`` (shared-memory worker pool)
+        only when the modeled work amortises the pool's dispatch overhead
+        (:attr:`MachineConfig.process_crossover_cycles`).
         """
         if a.ncols != b.nrows:
             raise ValueError(
@@ -167,6 +172,10 @@ class Planner:
             threads = self._pick_threads(a.nrows, notes)
         if partition is None:
             partition = self._pick_partition(a, b, notes)
+        if backend is None:
+            backend = self._pick_backend(a, b, bands, threads, notes)
+        else:
+            backend = normalize_backend(backend)
         if panel_width is None and memory_budget_bytes is not None:
             panel_width = self._pick_panel_width(b, mask, memory_budget_bytes, notes)
         if mask.nnz == 0 and not complement:
@@ -179,6 +188,7 @@ class Planner:
             phases=chosen_phases,
             threads=threads,
             partition=partition,
+            backend=backend,
             panel_width=panel_width,
             machine=self.machine.name,
             mode=mode,
@@ -303,6 +313,41 @@ class Planner:
                 f"{self.machine.cores}-core {self.machine.name})"
             )
         return threads
+
+    def _pick_backend(self, a, b, bands, threads: int, notes) -> str:
+        """Cost-model heuristic for the execution backend.
+
+        ``process`` pays a per-call dispatch overhead (publish operands into
+        shared memory, attach in workers, pickle results back) that only
+        amortises on large problems, so it is selected exactly when the
+        modeled whole-problem work clears
+        :attr:`MachineConfig.process_crossover_cycles` — the crossover a
+        host can re-fit via :func:`repro.machine.calibrate_process_crossover`.
+        Below the crossover, multi-worker plans stay on the cheap-to-enter
+        thread backend; single-worker plans are serial by construction.
+        """
+        if threads <= 1:
+            return "serial"
+        work = float(sum(band.est_cycles for band in bands))
+        if work <= 0.0:
+            # forced plans carry no modeled cycles; fall back to the flop
+            # count as a work proxy (an underestimate, hence conservative)
+            work = float(total_flops(a, b)) * self.machine.flop_cycles
+        crossover = self.machine.process_crossover_cycles
+        from ..parallel.pool import process_backend_available
+
+        if work >= crossover and process_backend_available():
+            notes.append(
+                f"process backend: modeled work {work:.3g} cycles >= "
+                f"crossover {crossover:.3g} (zero-copy shm operands, "
+                "persistent pool)"
+            )
+            return "process"
+        notes.append(
+            f"thread backend: modeled work {work:.3g} cycles below the "
+            f"process crossover {crossover:.3g}"
+        )
+        return "thread"
 
     def _pick_partition(self, a, b, notes) -> str:
         from ..machine import flops_per_row

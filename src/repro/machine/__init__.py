@@ -8,7 +8,12 @@ alone.
 """
 
 from .cache import AccessTrace, CacheSim
-from .calibrate import calibrate_machine, measure_touch_costs
+from .calibrate import (
+    calibrate_machine,
+    calibrate_process_crossover,
+    measure_backend_overhead,
+    measure_touch_costs,
+)
 from .config import HASWELL, KNL, MACHINES, MachineConfig
 from .cost_model import (
     MODEL_ALGOS,
@@ -34,6 +39,8 @@ __all__ = [
     "AccessTrace",
     "CacheSim",
     "calibrate_machine",
+    "calibrate_process_crossover",
+    "measure_backend_overhead",
     "measure_touch_costs",
     "HASWELL",
     "KNL",

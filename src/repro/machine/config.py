@@ -45,6 +45,19 @@ class MachineConfig:
     #: cycles per hash probe / heap op beyond the memory cost
     probe_cycles: float = 3.0
     heap_cycles: float = 8.0
+    #: one-time wall cost to bring up the persistent process pool (amortised
+    #: across every later call; informational, not part of the crossover)
+    process_spawn_seconds: float = 0.3
+    #: per-call wall overhead of the process backend: publishing operands,
+    #: attaching segments in workers, pickling results back
+    process_dispatch_seconds: float = 2e-3
+    #: modeled cycles of whole-problem work above which the process backend
+    #: amortises its dispatch overhead.  Note the unit: *modeled* cycles of
+    #: the paper-machine cost model, not host cycles — CPython wall time per
+    #: modeled cycle is much larger, which is exactly why a fixed crossover
+    #: works; recalibrate with repro.machine.calibrate_process_crossover to
+    #: fit the host actually running the library.
+    process_crossover_cycles: float = 2.0e6
 
     def seconds(self, cycles: float) -> float:
         """Convert modeled cycles to seconds."""

@@ -1,20 +1,47 @@
-"""Row-parallel execution: partitioners and the partitioned runner the
-execution engine (:mod:`repro.engine`) drives for plans with threads > 1."""
+"""Row-parallel execution: partitioners, the partitioned runner the
+execution engine (:mod:`repro.engine`) drives for plans with threads > 1,
+and the shared-memory process backend (segment publication in
+:mod:`repro.parallel.shm`, the persistent worker pool in
+:mod:`repro.parallel.pool`)."""
 
-from .executor import parallel_masked_spgemm, row_slice, run_partitioned
+from .executor import (
+    BACKENDS,
+    normalize_backend,
+    parallel_masked_spgemm,
+    row_block,
+    row_slice,
+    run_partitioned,
+)
 from .partition import (
     balanced_partition,
     block_partition,
     chunk_schedule,
     cyclic_partition,
 )
+from .pool import (
+    pool_size,
+    process_backend_available,
+    process_pool,
+    shutdown_pool,
+)
+from .shm import SegmentGroup, active_segments, attach_csr
 
 __all__ = [
+    "BACKENDS",
+    "normalize_backend",
     "parallel_masked_spgemm",
+    "row_block",
     "row_slice",
     "run_partitioned",
     "balanced_partition",
     "block_partition",
     "chunk_schedule",
     "cyclic_partition",
+    "pool_size",
+    "process_backend_available",
+    "process_pool",
+    "shutdown_pool",
+    "SegmentGroup",
+    "active_segments",
+    "attach_csr",
 ]

@@ -8,25 +8,34 @@ counters — are merged.  Patterns are disjoint by construction, so the
 matrix merge is a concatenation, and counter merging makes a parallel run
 report exactly the flops a serial run would.
 
-:func:`parallel_masked_spgemm` remains as the historical front door; it now
+Three backends run the same partitioned decomposition:
+
+* ``"serial"`` — partitions run one after another in the caller's thread
+  (deterministic baseline; also what ``threads=1`` degenerates to);
+* ``"thread"`` — a ``ThreadPoolExecutor``; under CPython's GIL this yields
+  limited real speedup (NumPy releases the GIL inside large kernels, so
+  some overlap occurs), but it is cheap to enter and shares operands for
+  free;
+* ``"process"`` — the shared-memory multiprocess backend: operands are
+  published once into named shared segments (:mod:`repro.parallel.shm`),
+  workers in a persistent pool (:mod:`repro.parallel.pool`) attach them as
+  zero-copy views, and per-partition COO results come back by pickle.
+  This is the backend that actually scales on multicore hosts.
+
+All three produce bit-for-bit identical matrices and identical merged
+``OpCounter`` totals; ``tests/test_backends.py`` enforces it.
+
+:func:`parallel_masked_spgemm` remains as the historical front door; it
 builds a forced :class:`~repro.engine.ExecutionPlan` and hands it to the
 engine, so every execution path is planned and inspectable.  It matches the
 paper's coarse-grained row parallelism; within-row parallelism is
 deliberately absent, as in the paper.
-
-Caveat documented in DESIGN.md: under CPython's GIL the thread backend
-yields limited real speedup (NumPy releases the GIL inside large kernels, so
-some overlap does occur for the fast kernels); the backend exists to make
-the parallel decomposition real, deterministic and testable, while the
-*scaling claims* are reproduced by :mod:`repro.machine.scheduler` from
-per-row work profiles.  ``backend="serial"`` runs the same partitioned code
-path without threads.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,31 +44,68 @@ from ..semiring import PLUS_TIMES, Semiring
 from ..sparse import CSC, CSR
 from ..core.masked_spgemm import masked_spgemm
 
-__all__ = ["parallel_masked_spgemm", "run_partitioned", "row_slice"]
+__all__ = [
+    "parallel_masked_spgemm",
+    "run_partitioned",
+    "row_slice",
+    "row_block",
+    "normalize_backend",
+    "BACKENDS",
+]
+
+#: canonical backend names (aliases: "threads" -> "thread")
+BACKENDS = ("serial", "thread", "process")
+
+
+def normalize_backend(backend: str) -> str:
+    """Map aliases to canonical backend names; raise on unknown ones."""
+    key = str(backend).lower()
+    if key == "threads":  # historical spelling
+        key = "thread"
+    if key not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS} (or 'threads'), got {backend!r}"
+        )
+    return key
+
+
+def _contiguous_range(rows: np.ndarray) -> Optional[Tuple[int, int]]:
+    """``(lo, hi)`` when ``rows`` is a contiguous ascending range, else None."""
+    if rows.size == 0:
+        return None
+    lo, hi = int(rows[0]), int(rows[-1]) + 1
+    if hi - lo == rows.size and bool(np.all(np.diff(rows) >= 1)):
+        return lo, hi
+    return None
 
 
 def row_slice(mat: CSR, rows: np.ndarray) -> CSR:
     """CSR holding only the given rows (shape preserved, other rows empty).
 
-    When ``rows`` is a contiguous ascending range this is a cheap O(nrows)
-    slice of the index structure (no COO round trip; ``indices``/``data``
-    are views into the parent).  Scattered row sets fall back to
-    :meth:`CSR.select_rows`.
+    When ``rows`` is a contiguous ascending range this is a cheap slice of
+    the index structure: the full-range case returns ``mat`` itself (no
+    allocation at all), and a proper sub-range builds its ``indptr`` from a
+    calloc'd zeros array touching only ``[lo, hi]`` plus the tail —
+    ``indices``/``data`` stay views into the parent.  Scattered row sets
+    fall back to :meth:`CSR.select_rows`.
+
+    For partitioned execution prefer :func:`row_block`, which drops the
+    empty frame entirely instead of carrying an ``nrows+1`` pointer array
+    per partition.
     """
     rows = np.asarray(rows)
-    contiguous = (
-        rows.size > 0
-        and int(rows[-1]) - int(rows[0]) + 1 == rows.size
-        and bool(np.all(np.diff(rows) >= 1))
-    )
-    if not contiguous:
+    rng = _contiguous_range(rows)
+    if rng is None:
         return mat.select_rows(rows)
-    lo, hi = int(rows[0]), int(rows[-1]) + 1
+    lo, hi = rng
+    if lo == 0 and hi == mat.nrows:
+        return mat  # the slice is the whole matrix; reuse it outright
     start, stop = int(mat.indptr[lo]), int(mat.indptr[hi])
-    indptr = np.empty(mat.nrows + 1, dtype=mat.indptr.dtype)
-    indptr[: lo + 1] = 0
-    indptr[lo : hi + 1] = mat.indptr[lo : hi + 1] - start
-    indptr[hi:] = stop - start
+    # calloc: the zero prefix costs no explicit fill
+    indptr = np.zeros(mat.nrows + 1, dtype=mat.indptr.dtype)
+    np.subtract(mat.indptr[lo : hi + 1], start, out=indptr[lo : hi + 1])
+    if stop != start:
+        indptr[hi + 1 :] = stop - start
     return CSR(
         mat.shape,
         indptr,
@@ -70,29 +116,43 @@ def row_slice(mat: CSR, rows: np.ndarray) -> CSR:
     )
 
 
-def _merge(
-    parts: List[CSR],
+def row_block(mat: CSR, lo: int, hi: int) -> CSR:
+    """Compact CSR of rows ``[lo, hi)`` — shape ``(hi - lo, ncols)``.
+
+    Unlike :func:`row_slice` this does not preserve the row frame, so a
+    partition's slice costs ``O(hi - lo)`` instead of ``O(nrows)`` — across
+    ``p`` partitions the pointer work totals ``O(nrows)`` rather than
+    ``O(nrows * p)``.  ``indices``/``data`` are views into the parent; the
+    caller re-offsets output row ids by ``lo`` when merging.
+    """
+    start, stop = int(mat.indptr[lo]), int(mat.indptr[hi])
+    return CSR(
+        (hi - lo, mat.ncols),
+        mat.indptr[lo : hi + 1] - start,
+        mat.indices[start:stop],
+        mat.data[start:stop],
+        sorted_indices=mat.sorted_indices,
+        check=False,
+    )
+
+
+def _merge_triples(
+    triples: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
     shape,
     *,
     counters: Optional[Sequence[OpCounter]] = None,
     counter: Optional[OpCounter] = None,
 ) -> CSR:
-    """Concatenate disjoint per-partition results and fold the workers'
-    per-partition ``OpCounter``s into the caller's counter, so parallel
-    runs report the same operation totals as serial runs."""
+    """Concatenate disjoint per-partition COO results (already in global row
+    coordinates) and fold the workers' per-partition ``OpCounter``s into the
+    caller's counter, so parallel runs report the same operation totals as
+    serial runs."""
     if counter is not None and counters is not None:
         for c in counters:
             counter.merge(c)
-    rows = []
-    cols = []
-    vals = []
-    for p in parts:
-        r, c, v = p.to_coo()
-        rows.append(r)
-        cols.append(c)
-        vals.append(v)
-    if not rows:
+    if not triples:
         return CSR.empty(shape)
+    rows, cols, vals = zip(*triples)
     return CSR.from_coo(
         shape, np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
     )
@@ -109,7 +169,7 @@ def run_partitioned(
     complement: bool = False,
     semiring: Semiring = PLUS_TIMES,
     impl: str = "auto",
-    backend: str = "threads",
+    backend: str = "thread",
     counter: Optional[OpCounter] = None,
     b_csc: Optional[CSC] = None,
 ) -> CSR:
@@ -117,22 +177,43 @@ def run_partitioned(
 
     The engine's workhorse for parallel plan bands: every partition runs
     under its own :class:`OpCounter` (workers never share mutable state)
-    and :func:`_merge` folds them into ``counter`` at the end.
+    and :func:`_merge_triples` folds them into ``counter`` at the end.
+    Contiguous partitions are sliced with :func:`row_block` (compact, no
+    per-partition ``nrows+1`` pointer array); scattered ones fall back to
+    shape-preserving :func:`row_slice`.
     """
-    if backend not in ("threads", "serial"):
-        raise ValueError("backend must be 'threads' or 'serial'")
+    backend = normalize_backend(backend)
     if b_csc is None and algo.lower() == "inner":
         b_csc = CSC.from_csr(b)
+    shape = (a.nrows, b.ncols)
+
+    if backend == "process" and len(parts) > 1:
+        result = _run_partitioned_process(
+            a, b, mask,
+            algo=algo, parts=parts, phases=phases, complement=complement,
+            semiring=semiring, impl=impl, counter=counter, b_csc=b_csc,
+        )
+        if result is not None:
+            return result
+        backend = "thread"  # untransferable semiring: degrade gracefully
+
     counters = [OpCounter() for _ in parts]
 
-    def work(idx: int) -> CSR:
-        rows = parts[idx]
-        if np.asarray(rows).size == 0:
-            return CSR.empty((a.nrows, b.ncols))
-        return masked_spgemm(
-            row_slice(a, rows),
+    def work(idx: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rows = np.asarray(parts[idx])
+        if rows.size == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e, np.empty(0, dtype=np.float64)
+        rng = _contiguous_range(rows)
+        if rng is not None:
+            lo, hi = rng
+            a_s, m_s, offset = row_block(a, lo, hi), row_block(mask, lo, hi), lo
+        else:
+            a_s, m_s, offset = row_slice(a, rows), row_slice(mask, rows), 0
+        c = masked_spgemm(
+            a_s,
             b,
-            row_slice(mask, rows),
+            m_s,
             algo=algo,
             phases=phases,
             complement=complement,
@@ -141,15 +222,77 @@ def run_partitioned(
             counter=counters[idx],
             b_csc=b_csc,
         )
+        r, cc, v = c.to_coo()
+        return (r + offset if offset else r), cc, v
 
     if backend == "serial" or len(parts) == 1:
-        results = [work(i) for i in range(len(parts))]
+        triples = [work(i) for i in range(len(parts))]
     else:
         with ThreadPoolExecutor(max_workers=len(parts)) as pool:
-            results = list(pool.map(work, range(len(parts))))
+            triples = list(pool.map(work, range(len(parts))))
 
-    return _merge(
-        results, (a.nrows, b.ncols), counters=counters, counter=counter
+    return _merge_triples(triples, shape, counters=counters, counter=counter)
+
+
+def _run_partitioned_process(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    algo: str,
+    parts: Sequence[np.ndarray],
+    phases: int,
+    complement: bool,
+    semiring: Semiring,
+    impl: str,
+    counter: Optional[OpCounter],
+    b_csc: Optional[CSC],
+) -> Optional[CSR]:
+    """The shared-memory process backend; ``None`` means "fall back to
+    threads" (untransferable semiring or missing platform support)."""
+    from . import pool as _pool
+    from . import shm as _shm
+
+    if not _pool.process_backend_available():
+        return None
+    token = _pool.encode_semiring(semiring)
+    if token is None:
+        return None
+
+    with _shm.SegmentGroup() as group:
+        a_spec = group.publish_csr(a)
+        b_spec = group.publish_csr(b)
+        m_spec = group.publish_csr(mask)
+        csc_spec = (
+            group.publish_csc(b_csc)
+            if b_csc is not None and algo.lower() == "inner"
+            else None
+        )
+        tasks = []
+        for rows in parts:
+            rows = np.asarray(rows, dtype=np.int64)
+            rng = _contiguous_range(rows)
+            rows_desc = ("range", rng[0], rng[1]) if rng else ("rows", rows)
+            if rows.size == 0:
+                rows_desc = ("range", 0, 0)
+            tasks.append(
+                _pool.PartitionTask(
+                    a=a_spec,
+                    b=b_spec,
+                    mask=m_spec,
+                    b_csc=csc_spec,
+                    rows=rows_desc,
+                    algo=algo,
+                    phases=phases,
+                    complement=complement,
+                    impl=impl,
+                    semiring=token,
+                )
+            )
+        triples, counters = _pool.run_tasks(len(parts), tasks)
+
+    return _merge_triples(
+        triples, (a.nrows, b.ncols), counters=counters, counter=counter
     )
 
 
@@ -165,25 +308,35 @@ def parallel_masked_spgemm(
     complement: bool = False,
     semiring: Semiring = PLUS_TIMES,
     impl: str = "auto",
-    backend: str = "threads",
+    backend: str = "thread",
     counter: Optional[OpCounter] = None,
 ) -> CSR:
     """Masked SpGEMM with row-parallel execution.
 
     ``partition``: ``"block"``, ``"cyclic"`` or ``"balanced"`` (flops-
-    weighted contiguous blocks).  ``backend``: ``"threads"`` or ``"serial"``.
-    ``algo="auto"`` lets the cost-model planner choose the algorithm (the
-    thread count and partition stay as forced here).
+    weighted contiguous blocks).  ``backend``: ``"serial"``, ``"thread"``
+    (alias ``"threads"``), ``"process"`` (shared-memory worker pool), or
+    ``"auto"`` to let the planner's cost heuristic choose.  ``algo="auto"``
+    lets the cost-model planner choose the algorithm (the thread count and
+    partition stay as forced here).
+
+    ``threads`` must be ``>= 1``; ``threads=1`` always takes the serial
+    path directly — no pool of any kind is built.
 
     This is now a thin front over :mod:`repro.engine`: it builds a plan with
     the given knobs forced and executes it.
     """
-    if threads <= 0:
-        raise ValueError("threads must be positive")
-    if backend not in ("threads", "serial"):
-        raise ValueError("backend must be 'threads' or 'serial'")
+    if threads < 1:
+        raise ValueError("threads must be positive (>= 1)")
+    forced_backend: Optional[str]
+    if str(backend).lower() == "auto":
+        forced_backend = None  # the planner's cost heuristic decides
+    else:
+        forced_backend = normalize_backend(backend)
     if partition not in ("block", "cyclic", "balanced"):
         raise ValueError("partition must be 'block', 'cyclic' or 'balanced'")
+    if threads == 1:
+        forced_backend = "serial"  # never build a pool for one worker
 
     from ..engine import Planner, execute
 
@@ -196,8 +349,9 @@ def parallel_masked_spgemm(
         complement=complement,
         threads=min(threads, max(1, a.nrows)),
         partition=partition,
+        backend=forced_backend,
     )
     return execute(
         pl, a, b, mask,
-        semiring=semiring, impl=impl, counter=counter, backend=backend,
+        semiring=semiring, impl=impl, counter=counter,
     )

@@ -1,0 +1,247 @@
+"""Persistent process pool for the shared-memory execution backend.
+
+Spawning workers is the dominant fixed cost of process parallelism in
+Python (interpreter + NumPy import on ``spawn``; page-table copy on
+``fork``).  The applications this library targets are *iterative* —
+k-truss rounds, betweenness-centrality batches, Markov-clustering
+expansions — so the pool is created once, kept warm, and reused by every
+subsequent process-backend call; ``atexit`` (or an explicit
+:func:`shutdown_pool` / the :func:`process_pool` context manager) tears it
+down.
+
+Task protocol: the parent publishes the CSR operands into shared memory
+(:mod:`repro.parallel.shm`) and submits one :class:`PartitionTask` per row
+partition.  A task carries only segment *addresses*, the partition's row
+range, and scalar knobs — a few hundred bytes — while workers attach the
+segments as zero-copy NumPy views.  Each worker runs the planned kernel
+under its own :class:`~repro.machine.OpCounter` and returns its partial
+output as COO triples plus the counter, which the caller merges exactly
+like the thread backend, so results and counters are identical across
+``serial`` / ``thread`` / ``process``.
+
+Semirings cross the boundary by *name* for the standard registry
+(:data:`repro.semiring.STANDARD_SEMIRINGS`) and by pickle otherwise;
+semirings capturing unpicklable state make
+:func:`encode_semiring` return ``None`` and the caller falls back to the
+thread backend rather than failing.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import multiprocessing as mp
+
+import numpy as np
+
+from ..machine import OpCounter
+from ..semiring import STANDARD_SEMIRINGS, Semiring
+from . import shm as _shm
+
+__all__ = [
+    "PartitionTask",
+    "get_pool",
+    "shutdown_pool",
+    "pool_size",
+    "process_pool",
+    "process_backend_available",
+    "run_tasks",
+    "encode_semiring",
+    "decode_semiring",
+]
+
+
+def process_backend_available() -> bool:
+    """Whether this platform can run the shared-memory process backend."""
+    if not _shm.HAVE_SHARED_MEMORY:
+        return False
+    methods = mp.get_all_start_methods()
+    return "fork" in methods or "spawn" in methods
+
+
+def _context() -> mp.context.BaseContext:
+    # fork is dramatically cheaper to bring up and inherits the importable
+    # package state; spawn is the portable fallback.
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context("spawn")  # pragma: no cover - non-fork platforms
+
+
+# ----------------------------------------------------------------------
+# the singleton pool
+# ----------------------------------------------------------------------
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_ATEXIT_REGISTERED = False
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent pool, grown (never shrunk) to at least ``workers``.
+
+    Growing replaces the pool — a rare event once an application reaches
+    its steady-state worker count; reuse is the common case and costs a
+    dictionary read.
+    """
+    global _POOL, _POOL_WORKERS, _ATEXIT_REGISTERED
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if _POOL is None or _POOL_WORKERS < workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=_context())
+        _POOL_WORKERS = workers
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_pool)
+            _ATEXIT_REGISTERED = True
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Shut the persistent pool down (workers exit; attachments die with
+    them).  Safe to call when no pool exists; the next process-backend
+    call simply spawns a fresh one."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+def pool_size() -> int:
+    """Current worker count of the persistent pool (0 = not running)."""
+    return _POOL_WORKERS
+
+
+@contextmanager
+def process_pool(workers: int):
+    """Context manager guaranteeing pool teardown on exit.
+
+    For one-shot scripts; long-running applications should rely on the
+    persistent pool + ``atexit`` instead and keep the spawn cost amortised.
+    """
+    try:
+        yield get_pool(workers)
+    finally:
+        shutdown_pool()
+
+
+# ----------------------------------------------------------------------
+# semiring transfer
+# ----------------------------------------------------------------------
+def encode_semiring(semiring: Semiring):
+    """Portable token for a semiring, or ``None`` if untransferable."""
+    std = STANDARD_SEMIRINGS.get(semiring.name)
+    if std is semiring:
+        return ("named", semiring.name)
+    try:
+        return ("pickled", pickle.dumps(semiring))
+    except Exception:
+        return None
+
+
+def decode_semiring(token) -> Semiring:
+    kind, payload = token
+    if kind == "named":
+        return STANDARD_SEMIRINGS[payload]
+    return pickle.loads(payload)
+
+
+# ----------------------------------------------------------------------
+# tasks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PartitionTask:
+    """One row partition of one masked-SpGEMM call (picklable, tiny)."""
+
+    a: _shm.CSRSegments
+    b: _shm.CSRSegments
+    mask: _shm.CSRSegments
+    b_csc: Optional[_shm.CSRSegments]
+    #: ("range", lo, hi) for contiguous partitions, ("rows", ndarray) else
+    rows: tuple
+    algo: str
+    phases: int
+    complement: bool
+    impl: str
+    semiring: tuple
+
+
+def _run_task(task: PartitionTask):
+    """Worker entry point: attach, slice, run, return COO + counter.
+
+    Runs in a pool worker.  The returned row indices are *global* (the
+    contiguous fast path offsets them), so the parent's merge is a plain
+    concatenation, identical to the serial and thread backends.
+    """
+    from ..core.masked_spgemm import masked_spgemm
+    from .executor import row_block, row_slice
+
+    a = _shm.attach_csr(task.a)
+    b = _shm.attach_csr(task.b)
+    mask = _shm.attach_csr(task.mask)
+    b_csc = _shm.attach_csc(task.b_csc)
+    semiring = decode_semiring(task.semiring)
+    counter = OpCounter()
+
+    if task.rows[0] == "range":
+        lo, hi = task.rows[1], task.rows[2]
+        if hi <= lo:
+            return _coo_payload(np.empty(0, np.int64), np.empty(0, np.int64),
+                                np.empty(0, np.float64), counter)
+        a_s, m_s, offset = row_block(a, lo, hi), row_block(mask, lo, hi), lo
+    else:
+        rows = np.asarray(task.rows[1], dtype=np.int64)
+        if rows.size == 0:
+            return _coo_payload(np.empty(0, np.int64), np.empty(0, np.int64),
+                                np.empty(0, np.float64), counter)
+        a_s, m_s, offset = row_slice(a, rows), row_slice(mask, rows), 0
+
+    c = masked_spgemm(
+        a_s,
+        b,
+        m_s,
+        algo=task.algo,
+        phases=task.phases,
+        complement=task.complement,
+        semiring=semiring,
+        impl=task.impl,
+        counter=counter,
+        b_csc=b_csc,
+    )
+    r, cc, v = c.to_coo()
+    return _coo_payload(r + offset if offset else r, cc, v, counter)
+
+
+def _coo_payload(rows, cols, vals, counter):
+    return rows, cols, vals, counter
+
+
+def run_tasks(
+    workers: int, tasks: Sequence[PartitionTask]
+) -> Tuple[List[Tuple[np.ndarray, np.ndarray, np.ndarray]], List[OpCounter]]:
+    """Run partition tasks on the persistent pool, in submission order.
+
+    Results come back ordered by partition index (futures are awaited in
+    order), which keeps the merged output deterministic.  A broken pool
+    (a worker was OOM-killed or crashed) is discarded so the next call
+    starts clean, and the error propagates to the caller.
+    """
+    pool = get_pool(workers)
+    futures = [pool.submit(_run_task, t) for t in tasks]
+    triples: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    counters: List[OpCounter] = []
+    try:
+        for fut in futures:
+            rows, cols, vals, counter = fut.result()
+            triples.append((rows, cols, vals))
+            counters.append(counter)
+    except BrokenProcessPool:
+        shutdown_pool()
+        raise
+    return triples, counters

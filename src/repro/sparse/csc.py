@@ -78,6 +78,14 @@ class CSC:
     def to_csr(self) -> CSR:
         return self._t.transpose()
 
+    def to_transposed_csr(self) -> CSR:
+        """The backing CSR of the transpose (no copy).
+
+        This is the publication form for shared-memory transfer: a CSC is
+        shipped as its transpose's CSR arrays and rewrapped on the far side.
+        """
+        return self._t
+
     def to_dense(self) -> np.ndarray:
         return self._t.to_dense().T
 

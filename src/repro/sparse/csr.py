@@ -145,6 +145,38 @@ class CSR:
         return cls.from_coo(dense.shape, rows, cols, dense[rows, cols])
 
     @classmethod
+    def from_segment_arrays(
+        cls,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        sorted_indices: bool = False,
+    ) -> "CSR":
+        """Rewrap the three CSR arrays without copying or re-validating.
+
+        The zero-copy counterpart of :meth:`segment_arrays` used by the
+        shared-memory executor (:mod:`repro.parallel.shm`): the arrays are
+        typically views into attached shared segments whose invariants were
+        established by the publishing process, so ``check`` is skipped.  The
+        arrays must already be contiguous and of the canonical dtypes or the
+        constructor will fall back to copying.
+        """
+        return cls(
+            shape, indptr, indices, data, sorted_indices=sorted_indices, check=False
+        )
+
+    def segment_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(indptr, indices, data)`` arrays in publication order.
+
+        Together with ``shape`` and ``sorted_indices`` this is everything a
+        peer process needs to rebuild the matrix via
+        :meth:`from_segment_arrays` without a round trip through COO.
+        """
+        return self.indptr, self.indices, self.data
+
+    @classmethod
     def from_scipy(cls, mat) -> "CSR":
         """Build from a ``scipy.sparse`` matrix (used by tests/oracles)."""
         m = mat.tocsr()

@@ -66,3 +66,32 @@ class TestCalibrateMachine:
         t2 = {algo: model2.estimate(algo).total_cycles
               for algo in ("inner", "msa", "hash", "heap", "heapdot")}
         assert min(t2, key=t2.get) != "inner"
+
+
+@pytest.mark.backend
+class TestProcessCrossoverCalibration:
+    """Backend-overhead calibration (spawns a small worker pool)."""
+
+    def test_measure_backend_overhead(self):
+        from repro.machine import measure_backend_overhead
+        from repro.parallel import shutdown_pool
+
+        ov = measure_backend_overhead(2)
+        assert ov["dispatch_seconds"] > 0
+        assert ov["spawn_seconds"] >= 0
+        shutdown_pool()
+
+    def test_calibrate_returns_new_config(self):
+        from repro.machine import calibrate_process_crossover
+        from repro.parallel import shutdown_pool
+
+        fitted = calibrate_process_crossover(HASWELL, workers=2)
+        assert fitted is not HASWELL
+        assert fitted.process_crossover_cycles > 0
+        assert fitted.process_dispatch_seconds > 0
+        # untouched fields carry over
+        assert fitted.cores == HASWELL.cores
+        assert fitted.name == HASWELL.name
+        # the input preset is frozen and unchanged
+        assert HASWELL.process_crossover_cycles == 2.0e6
+        shutdown_pool()

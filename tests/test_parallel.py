@@ -11,8 +11,9 @@ from repro.parallel import (
     chunk_schedule,
     cyclic_partition,
     parallel_masked_spgemm,
+    pool_size,
 )
-from repro.parallel.executor import row_slice
+from repro.parallel.executor import row_block, row_slice
 
 from .conftest import assert_csr_equal, random_csr
 
@@ -122,6 +123,72 @@ class TestRowSlice:
         a = random_csr(10, 8, 2, seed=75)
         got = row_slice(a, np.array([], dtype=np.int64))
         assert got.shape == a.shape and got.nnz == 0
+
+    def test_full_range_returns_same_matrix(self):
+        # the degenerate one-partition case must not copy anything
+        a = random_csr(20, 12, 3, seed=76)
+        assert row_slice(a, np.arange(20, dtype=np.int64)) is a
+
+    def test_scattered_rows_round_trip_select_rows(self):
+        # scattered row sets (cyclic partitions, planner bands) must agree
+        # with select_rows for every framing, including unsorted orders and
+        # singleton sets
+        a = random_csr(40, 25, 5, seed=77)
+        for rows in (
+            np.array([31, 4, 22, 17], dtype=np.int64),
+            np.array([0, 39], dtype=np.int64),
+            np.array([13], dtype=np.int64),
+            np.arange(1, 40, 3, dtype=np.int64),
+        ):
+            got = row_slice(a, rows)
+            want = a.select_rows(rows)
+            assert got.shape == want.shape
+            assert np.array_equal(got.indptr, want.indptr)
+            assert np.array_equal(got.indices, want.indices)
+            assert np.array_equal(got.data, want.data)
+
+
+class TestRowBlock:
+    """row_block is the compact (hi-lo)-row slice the partitioned executor
+    uses internally: O(block) indptr work instead of O(nrows)."""
+
+    def test_matches_select_rows_after_offset(self):
+        a = random_csr(30, 20, 4, seed=81)
+        for lo, hi in [(0, 30), (0, 1), (5, 12), (29, 30)]:
+            got = row_block(a, lo, hi)
+            want = a.select_rows(np.arange(lo, hi, dtype=np.int64))
+            assert got.shape == (hi - lo, 20)
+            r, c, v = got.to_coo()
+            wr, wc, wv = want.to_coo()
+            assert np.array_equal(r + lo, wr)
+            assert np.array_equal(c, wc)
+            assert np.array_equal(v, wv)
+
+    def test_indptr_cost_is_block_local(self):
+        a = random_csr(1000, 10, 2, seed=82)
+        got = row_block(a, 500, 510)
+        assert got.indptr.shape[0] == 11  # hi - lo + 1, not nrows + 1
+        assert np.shares_memory(got.indices, a.indices)
+        assert np.shares_memory(got.data, a.data)
+
+
+class TestThreadsOneFastPath:
+    def test_threads_must_be_positive(self, small_triple):
+        a, b, m = small_triple
+        for bad in (0, -1, -7):
+            with pytest.raises(ValueError, match="threads"):
+                parallel_masked_spgemm(a, b, m, threads=bad)
+
+    def test_single_thread_builds_no_pool(self, small_triple):
+        # threads=1 must fall back to the serial path without standing up
+        # any worker pool (process or thread)
+        from repro.parallel import shutdown_pool
+
+        shutdown_pool()
+        a, b, m = small_triple
+        got = parallel_masked_spgemm(a, b, m, threads=1)
+        assert pool_size() == 0
+        assert_csr_equal(got, scipy_masked_spgemm(a, b, m))
 
 
 class TestParallelDriver:
