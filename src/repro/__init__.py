@@ -1,3 +1,14 @@
 """Reproduction of "Parallel Algorithms for Masked Sparse Matrix-Matrix
 Products" (ICPP 2022)."""
+
+import logging as _logging
+
 __version__ = "1.0.0"
+
+# Library logging convention: one "repro" logger hierarchy, silent by
+# default (NullHandler), so degradations that change execution behaviour —
+# e.g. the process backend falling back to threads on an untransferable
+# semiring — are observable the moment an application configures logging,
+# without the library ever printing on its own.
+logger = _logging.getLogger("repro")
+logger.addHandler(_logging.NullHandler())

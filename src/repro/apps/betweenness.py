@@ -31,13 +31,13 @@ smaller batches, see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..machine import OpCounter
+from ..observe import timed_span
 from ..semiring import PLUS_TIMES
 from ..sparse import CSR
 from ..core import masked_spgemm
@@ -112,81 +112,89 @@ def betweenness_centrality(
     sources = np.asarray(list(sources), dtype=np.int64)
     s = sources.shape[0]
     counter = counter if counter is not None else OpCounter()
-    t0 = time.perf_counter()
-    a_t = a.transpose()
+    # stage spans: per-step forward (complemented mask) / backward (plain
+    # mask) breakdowns appear in trace exports; timed_span also feeds the
+    # result's *_seconds fields when tracing is off
+    with timed_span("bc.run", {"batch": s, "algo": algo}) as sp_total:
+        a_t = a.transpose()
 
-    # frontier_0: one unit entry per source row
-    frontier = CSR.from_coo(
-        (s, n), np.arange(s, dtype=np.int64), sources, np.ones(s)
-    )
-    numsp = frontier.copy()
-    frontiers: List[CSR] = [frontier]
-    spgemm_time = 0.0
-    forward_time = 0.0
-    backward_time = 0.0
-
-    # ---- forward sweep ----
-    while frontier.nnz:
-        if call_log is not None:
-            call_log.append((frontier, a, numsp, True))
-        t1 = time.perf_counter()
-        frontier = masked_spgemm(
-            frontier, a, numsp, algo=algo, impl=impl, phases=phases,
-            complement=True, semiring=PLUS_TIMES, counter=counter,
+        # frontier_0: one unit entry per source row
+        frontier = CSR.from_coo(
+            (s, n), np.arange(s, dtype=np.int64), sources, np.ones(s)
         )
-        dt = time.perf_counter() - t1
-        spgemm_time += dt
-        forward_time += dt
-        if frontier.nnz == 0:
-            break
-        frontiers.append(frontier)
-        fr, fc, fv = frontier.to_coo()
-        nr, nc, nv = numsp.to_coo()
-        numsp = CSR.from_coo(
-            (s, n),
-            np.concatenate([nr, fr]),
-            np.concatenate([nc, fc]),
-            np.concatenate([nv, fv]),
-        )
+        numsp = frontier.copy()
+        frontiers: List[CSR] = [frontier]
+        spgemm_time = 0.0
+        forward_time = 0.0
+        backward_time = 0.0
 
-    depth = len(frontiers) - 1
+        # ---- forward sweep ----
+        level = 0
+        while frontier.nnz:
+            if call_log is not None:
+                call_log.append((frontier, a, numsp, True))
+            level += 1
+            with timed_span(
+                "bc.forward", {"depth": level, "frontier_nnz": frontier.nnz},
+                counter=counter,
+            ) as sp_f:
+                frontier = masked_spgemm(
+                    frontier, a, numsp, algo=algo, impl=impl, phases=phases,
+                    complement=True, semiring=PLUS_TIMES, counter=counter,
+                )
+            spgemm_time += sp_f.seconds
+            forward_time += sp_f.seconds
+            if frontier.nnz == 0:
+                break
+            frontiers.append(frontier)
+            fr, fc, fv = frontier.to_coo()
+            nr, nc, nv = numsp.to_coo()
+            numsp = CSR.from_coo(
+                (s, n),
+                np.concatenate([nr, fr]),
+                np.concatenate([nc, fc]),
+                np.concatenate([nv, fv]),
+            )
 
-    # ---- backward sweep ----
-    delta = CSR.empty((s, n))
-    for d in range(depth, 0, -1):
-        f_d = frontiers[d]
-        rows, cols, _ = f_d.to_coo()
-        # w = f_d .* ((1 + delta) / numsp)
-        dvals = _lookup(delta, rows, cols, 0.0)
-        spv = _lookup(numsp, rows, cols, 1.0)
-        w = CSR.from_coo((s, n), rows, cols, (1.0 + dvals) / spv)
-        if call_log is not None:
-            call_log.append((w, a_t, frontiers[d - 1], False))
-        t1 = time.perf_counter()
-        t_d = masked_spgemm(
-            w, a_t, frontiers[d - 1], algo=algo, impl=impl, phases=phases,
-            semiring=PLUS_TIMES, counter=counter,
-        )
-        dt = time.perf_counter() - t1
-        spgemm_time += dt
-        backward_time += dt
-        # delta += t_d .* numsp (on t_d's pattern)
-        tr, tc, tv = t_d.to_coo()
-        contrib = tv * _lookup(numsp, tr, tc, 0.0)
+        depth = len(frontiers) - 1
+
+        # ---- backward sweep ----
+        delta = CSR.empty((s, n))
+        for d in range(depth, 0, -1):
+            f_d = frontiers[d]
+            rows, cols, _ = f_d.to_coo()
+            # w = f_d .* ((1 + delta) / numsp)
+            dvals = _lookup(delta, rows, cols, 0.0)
+            spv = _lookup(numsp, rows, cols, 1.0)
+            w = CSR.from_coo((s, n), rows, cols, (1.0 + dvals) / spv)
+            if call_log is not None:
+                call_log.append((w, a_t, frontiers[d - 1], False))
+            with timed_span(
+                "bc.backward", {"depth": d}, counter=counter
+            ) as sp_b:
+                t_d = masked_spgemm(
+                    w, a_t, frontiers[d - 1], algo=algo, impl=impl,
+                    phases=phases, semiring=PLUS_TIMES, counter=counter,
+                )
+            spgemm_time += sp_b.seconds
+            backward_time += sp_b.seconds
+            # delta += t_d .* numsp (on t_d's pattern)
+            tr, tc, tv = t_d.to_coo()
+            contrib = tv * _lookup(numsp, tr, tc, 0.0)
+            dr, dc, dv = delta.to_coo()
+            delta = CSR.from_coo(
+                (s, n),
+                np.concatenate([dr, tr]),
+                np.concatenate([dc, tc]),
+                np.concatenate([dv, contrib]),
+            )
+
+        # centrality: column sums of delta, excluding each source's own entry
+        out = np.zeros(n)
         dr, dc, dv = delta.to_coo()
-        delta = CSR.from_coo(
-            (s, n),
-            np.concatenate([dr, tr]),
-            np.concatenate([dc, tc]),
-            np.concatenate([dv, contrib]),
-        )
-
-    # centrality: column sums of delta, excluding each source's own entry
-    out = np.zeros(n)
-    dr, dc, dv = delta.to_coo()
-    own = dc == sources[dr]
-    np.add.at(out, dc[~own], dv[~own])
-    total = time.perf_counter() - t0
+        own = dc == sources[dr]
+        np.add.at(out, dc[~own], dv[~own])
+    total = sp_total.seconds
     teps = s * a.nnz / total if total > 0 else 0.0
     return BetweennessResult(
         centrality=out,

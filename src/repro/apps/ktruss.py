@@ -17,13 +17,13 @@ result object carries both pieces.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from ..machine import OpCounter, total_flops
+from ..observe import timed_span
 from ..semiring import PLUS_PAIR
 from ..sparse import CSR
 from ..core import masked_spgemm
@@ -72,40 +72,49 @@ def ktruss(
     if k < 3:
         raise ValueError("k must be >= 3")
     counter = counter if counter is not None else OpCounter()
-    t0 = time.perf_counter()
-    cur = a.pattern().triu(1)
-    # rebuild full symmetric pattern without diagonal
-    cur = _sym(cur)
-    support_needed = k - 2
-    spgemm_time = 0.0
-    flops = 0
-    edges = []
-    it = 0
-    for it in range(1, max_iters + 1):
-        edges.append(cur.nnz)
-        flops += total_flops(cur, cur)
-        if call_log is not None:
-            call_log.append((cur, cur, cur, False))
-        t1 = time.perf_counter()
-        s = masked_spgemm(
-            cur, cur, cur, algo=algo, impl=impl, phases=phases,
-            semiring=PLUS_PAIR, counter=counter,
-            backend=backend if algo == "auto" else None,
-        )
-        spgemm_time += time.perf_counter() - t1
-        # keep edges of cur whose support >= k-2; edges with zero support
-        # are absent from s entirely
-        keep_rows, keep_cols, keep_vals = s.to_coo()
-        strong = keep_vals >= support_needed
-        nxt = CSR.from_coo(
-            cur.shape, keep_rows[strong], keep_cols[strong],
-            np.ones(int(strong.sum())),
-        )
-        if nxt.nnz == cur.nnz:
+    # per-iteration spans (edges shrink as pruning proceeds — the paper's
+    # sparsifying-mask observation) with the masked SpGEMM nested inside;
+    # timed_span keeps the result's second fields populated untraced
+    with timed_span("ktruss.run", {"k": k, "algo": algo}) as sp_total:
+        cur = a.pattern().triu(1)
+        # rebuild full symmetric pattern without diagonal
+        cur = _sym(cur)
+        support_needed = k - 2
+        spgemm_time = 0.0
+        flops = 0
+        edges = []
+        it = 0
+        for it in range(1, max_iters + 1):
+            edges.append(cur.nnz)
+            flops += total_flops(cur, cur)
+            if call_log is not None:
+                call_log.append((cur, cur, cur, False))
+            with timed_span(
+                "ktruss.iter", {"iteration": it, "edges": cur.nnz}
+            ):
+                with timed_span(
+                    "ktruss.spgemm", {"algo": algo, "phases": phases},
+                    counter=counter,
+                ) as sp_mm:
+                    s = masked_spgemm(
+                        cur, cur, cur, algo=algo, impl=impl, phases=phases,
+                        semiring=PLUS_PAIR, counter=counter,
+                        backend=backend if algo == "auto" else None,
+                    )
+                spgemm_time += sp_mm.seconds
+                # keep edges of cur whose support >= k-2; edges with zero
+                # support are absent from s entirely
+                keep_rows, keep_cols, keep_vals = s.to_coo()
+                strong = keep_vals >= support_needed
+                nxt = CSR.from_coo(
+                    cur.shape, keep_rows[strong], keep_cols[strong],
+                    np.ones(int(strong.sum())),
+                )
+            if nxt.nnz == cur.nnz:
+                cur = nxt
+                break
             cur = nxt
-            break
-        cur = nxt
-    total = time.perf_counter() - t0
+    total = sp_total.seconds
     return KTrussResult(
         truss=cur,
         iterations=it,

@@ -14,11 +14,11 @@ operation counters so the benches can do the same.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
 from ..machine import OpCounter
+from ..observe import timed_span
 from ..semiring import PLUS_PAIR
 from ..sparse import CSR, reduce_sum
 from ..core import masked_spgemm
@@ -71,30 +71,35 @@ def triangle_count_detail(
     ``backend`` (``algo="auto"`` only) forces the execution backend of the
     underlying masked SpGEMM; ``None`` lets the planner's cost model pick.
     """
-    t0 = time.perf_counter()
-    low = _prepare(a, relabel)
     counter = counter if counter is not None else OpCounter()
-    if call_log is not None:
-        call_log.append((low, low, low, False))
-    t1 = time.perf_counter()
-    c = masked_spgemm(
-        low,
-        low,
-        low,
-        algo=algo,
-        impl=impl,
-        phases=phases,
-        semiring=PLUS_PAIR,
-        counter=counter,
-        backend=backend if algo == "auto" else None,
-    )
-    t2 = time.perf_counter()
-    tri = int(round(reduce_sum(c)))
-    t3 = time.perf_counter()
+    # tracer spans double as the stage timers: tril/spgemm/reduce durations
+    # land in trace exports when tracing is on and still populate the
+    # result fields when it is off (timed_span always measures)
+    with timed_span("tc.run", {"algo": algo}) as sp_total:
+        with timed_span("tc.prepare", {"relabel": relabel}):
+            low = _prepare(a, relabel)
+        if call_log is not None:
+            call_log.append((low, low, low, False))
+        with timed_span(
+            "tc.spgemm", {"algo": algo, "phases": phases}, counter=counter
+        ) as sp_mm:
+            c = masked_spgemm(
+                low,
+                low,
+                low,
+                algo=algo,
+                impl=impl,
+                phases=phases,
+                semiring=PLUS_PAIR,
+                counter=counter,
+                backend=backend if algo == "auto" else None,
+            )
+        with timed_span("tc.reduce"):
+            tri = int(round(reduce_sum(c)))
     return TriangleCountResult(
         triangles=tri,
-        spgemm_seconds=t2 - t1,
-        total_seconds=t3 - t0,
+        spgemm_seconds=sp_mm.seconds,
+        total_seconds=sp_total.seconds,
         counter=counter,
         l_nnz=low.nnz,
     )

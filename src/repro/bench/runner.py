@@ -21,6 +21,8 @@ produces ``times[scheme][case]`` dictionaries ready for
 
 from __future__ import annotations
 
+import os
+import re
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -154,6 +156,10 @@ def modeled_seconds(
     return total
 
 
+def _artifact_slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-")
+
+
 def run_cases(
     cases: Mapping[str, Sequence[Call]],
     schemes: Sequence[Scheme],
@@ -165,6 +171,7 @@ def run_cases(
     repeats: int = 1,
     complement_required: bool = False,
     chunk: Optional[int] = None,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Times for every (scheme, case): ``times[scheme.name][case_name]``.
 
@@ -172,9 +179,17 @@ def run_cases(
     case (complement unsupported) get ``inf`` — the Dolan–Moré convention.
     In measured mode, non-fast schemes (heap) are skipped the same way
     unless every call in the experiment is small.
+
+    ``trace_dir`` (measured mode only): run each (scheme, case) under the
+    tracer and drop a ``<scheme>__<case>.trace.json`` (Chrome trace-event)
+    plus ``.metrics.json`` pair there — the per-run artifact that sits next
+    to the experiment's JSON results (``repro.bench.reporting.save_json``).
+    Ignored in model mode, where no kernels actually execute.
     """
     if mode not in ("model", "measured"):
         raise ValueError("mode must be 'model' or 'measured'")
+    if trace_dir is not None and mode == "measured":
+        os.makedirs(trace_dir, exist_ok=True)
     out: Dict[str, Dict[str, float]] = {}
     for scheme in schemes:
         row: Dict[str, float] = {}
@@ -190,6 +205,19 @@ def run_cases(
                 row[case_name] = modeled_seconds(
                     scheme, calls, machine=machine, threads=threads, chunk=chunk
                 )
+            elif trace_dir is not None:
+                from ..observe import tracing, write_chrome_trace, write_metrics
+
+                with tracing() as tracer:
+                    row[case_name] = measured_seconds(
+                        scheme, calls, semiring=semiring, repeats=repeats
+                    )
+                base = os.path.join(
+                    trace_dir,
+                    f"{_artifact_slug(scheme.name)}__{_artifact_slug(case_name)}",
+                )
+                write_chrome_trace(base + ".trace.json", tracer)
+                write_metrics(base + ".metrics.json", tracer, machine=machine)
             else:
                 row[case_name] = measured_seconds(
                     scheme, calls, semiring=semiring, repeats=repeats

@@ -31,6 +31,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ...machine import OpCounter
+from ...observe.tracer import traced_kernel
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSR
 from .arena import get_arena
@@ -130,6 +131,7 @@ def _sort_reduce(keys, vals, semiring):
     return keys[starts], np.asarray(red, dtype=np.float64)
 
 
+@traced_kernel("hash")
 def masked_spgemm_hash_fast(
     a: CSR,
     b: CSR,

@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from ...machine import OpCounter
+from ...observe.tracer import traced_kernel
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSC, CSR
 from .expand import row_keys
@@ -34,6 +35,7 @@ __all__ = ["masked_spgemm_inner_fast"]
 DEFAULT_PULL_BUDGET = 1 << 22
 
 
+@traced_kernel("inner")
 def masked_spgemm_inner_fast(
     a: CSR,
     b: CSR,

@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from ...machine import OpCounter
+from ...observe.tracer import traced_kernel
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSR
 from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks, row_keys
@@ -32,6 +33,7 @@ from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks, row_k
 __all__ = ["masked_spgemm_mca_fast"]
 
 
+@traced_kernel("mca")
 def masked_spgemm_mca_fast(
     a: CSR,
     b: CSR,

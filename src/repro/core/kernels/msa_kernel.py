@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from ...machine import OpCounter
+from ...observe.tracer import traced_kernel
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSR
 from .arena import get_arena
@@ -36,6 +37,7 @@ from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks
 __all__ = ["masked_spgemm_msa_fast"]
 
 
+@traced_kernel("msa")
 def masked_spgemm_msa_fast(
     a: CSR,
     b: CSR,

@@ -42,6 +42,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..machine import MachineConfig, OpCounter
+from ..observe import tracer as _obs
 from ..semiring import PLUS_TIMES, Semiring
 from ..sparse import CSC, CSR
 from .kernels.esc_kernel import masked_spgemm_esc_fast
@@ -216,7 +217,16 @@ def masked_spgemm(
         # (The numeric phase of this reproduction assembles rows
         # functionally, so the symbolic result is used as a cross-check and
         # as the 2P cost; a C implementation would use it to allocate.)
-        row_nnz = symbolic_masked(a, b, mask, complement=complement, counter=counter)
+        tr = _obs.current()
+        sym_cm = (
+            tr.span("spgemm.symbolic", {"phase": "symbolic", "algo": key},
+                    counter=counter)
+            if tr is not None else _obs.NULL_SPAN
+        )
+        with sym_cm:
+            row_nnz = symbolic_masked(
+                a, b, mask, complement=complement, counter=counter
+            )
         expected_nnz = int(row_nnz.sum())
     else:
         # 1P: the mask-derived scratch bound is what a C implementation
@@ -238,16 +248,23 @@ def masked_spgemm(
             kwargs["b_csc"] = b_csc
         c = _FAST[key](a, b, mask, **kwargs)
     else:
-        c = masked_spgemm_reference(
-            a,
-            b,
-            mask,
-            algo=key,
-            complement=complement,
-            semiring=semiring,
-            counter=counter,
-            b_csc=b_csc,
+        tr = _obs.current()
+        ref_cm = (
+            tr.span("kernel.reference", {"algo": key, "phase": "numeric"},
+                    counter=counter)
+            if tr is not None else _obs.NULL_SPAN
         )
+        with ref_cm:
+            c = masked_spgemm_reference(
+                a,
+                b,
+                mask,
+                algo=key,
+                complement=complement,
+                semiring=semiring,
+                counter=counter,
+                b_csc=b_csc,
+            )
 
     if phases == 2 and c.nnz != expected_nnz:
         raise AssertionError(

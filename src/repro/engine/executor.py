@@ -14,6 +14,7 @@ monolithic run would.
 
 from __future__ import annotations
 
+import logging
 from typing import List, Optional
 
 import numpy as np
@@ -21,6 +22,7 @@ import numpy as np
 from ..core.chunked import column_panels, restrict_columns
 from ..core.masked_spgemm import masked_spgemm
 from ..machine import HASWELL, MachineConfig, OpCounter, flops_per_row
+from ..observe import tracer as _obs
 from ..parallel.executor import normalize_backend, row_slice, run_partitioned
 from ..parallel.partition import (
     balanced_partition,
@@ -32,6 +34,8 @@ from ..sparse import CSC, CSR
 from .plan import ExecutionPlan, RowBand
 
 __all__ = ["execute", "plan_and_execute"]
+
+_log = logging.getLogger("repro.engine")
 
 
 def _partition_rows(partition: str, a: CSR, b: CSR, threads: int) -> List[np.ndarray]:
@@ -103,6 +107,7 @@ def _run_band_panelled(
     """The memory-bounded path: one output-column panel at a time (panels
     whose mask slice is empty are skipped under a plain mask — the mask
     proves them empty; a complemented mask is dense exactly there)."""
+    tr = _obs.current()
     out_rows: List[np.ndarray] = []
     out_cols: List[np.ndarray] = []
     out_vals: List[np.ndarray] = []
@@ -111,18 +116,24 @@ def _run_band_panelled(
         if m_panel.nnz == 0 and not plan.complement:
             continue
         b_panel = restrict_columns(b, lo, hi)
-        c_panel = _run_band(
-            plan,
-            band,
-            a_band,
-            b_panel,
-            m_panel,
-            semiring=semiring,
-            impl=impl,
-            counter=counter,
-            backend=backend,
-            b_csc=None,
+        panel_cm = (
+            tr.span("engine.panel", {"cols_lo": lo, "cols_hi": hi,
+                                     "algo": band.algo})
+            if tr is not None else _obs.NULL_SPAN
         )
+        with panel_cm:
+            c_panel = _run_band(
+                plan,
+                band,
+                a_band,
+                b_panel,
+                m_panel,
+                semiring=semiring,
+                impl=impl,
+                counter=counter,
+                backend=backend,
+                b_csc=None,
+            )
         r, c, v = c_panel.to_coo()
         out_rows.append(r)
         out_cols.append(c + lo)
@@ -135,6 +146,31 @@ def _run_band_panelled(
         np.concatenate(out_cols),
         np.concatenate(out_vals),
     )
+
+
+def _preflight_process_backend(plan: ExecutionPlan, semiring: Semiring) -> str:
+    """Resolve the process backend before work starts.
+
+    A process-backend plan can only run if the platform supports shared
+    memory *and* the semiring can cross the process boundary.  When either
+    fails, the run degrades to the thread backend — loudly: a ``repro``
+    logger warning plus a note on the plan, so the degradation shows up in
+    ``ExecutionPlan.explain()`` and exported traces instead of silently
+    changing the execution characteristics.
+    """
+    from ..parallel import pool as _pool
+
+    if not _pool.process_backend_available():
+        reason = "platform lacks shared-memory process support"
+    elif _pool.encode_semiring(semiring) is None:
+        reason = f"semiring {semiring.name!r} is not transferable (unpicklable)"
+    else:
+        return "process"
+    note = f"process backend fell back to thread: {reason}"
+    _log.warning(note)
+    if note not in plan.notes:
+        plan.notes.append(note)
+    return "thread"
 
 
 def execute(
@@ -178,6 +214,9 @@ def execute(
     if not plan.bands or a.nrows == 0:
         return CSR.empty(plan.shape)
 
+    if backend == "process":
+        backend = _preflight_process_backend(plan, semiring)
+
     if (
         b_csc is None
         and plan.panel_width is None
@@ -185,37 +224,58 @@ def execute(
     ):
         b_csc = CSC.from_csr(b)
 
-    band_results: List[CSR] = []
-    for band in plan.bands:
-        if band.nrows == 0:
-            continue
-        full = band.is_full(a.nrows)
-        a_band = a if full else row_slice(a, band.rows)
-        m_band = mask if full else row_slice(mask, band.rows)
-        if plan.panel_width is not None:
-            c_band = _run_band_panelled(
-                plan, band, a_band, b, m_band,
-                semiring=semiring, impl=impl, counter=counter, backend=backend,
-            )
-        else:
-            c_band = _run_band(
-                plan, band, a_band, b, m_band,
-                semiring=semiring, impl=impl, counter=counter, backend=backend,
-                b_csc=b_csc if band.algo == "inner" else None,
-            )
-        band_results.append(c_band)
-
-    if len(band_results) == 1:
-        return band_results[0]
-    if not band_results:
-        return CSR.empty(plan.shape)
-    rows, cols, vals = zip(*(part.to_coo() for part in band_results))
-    return CSR.from_coo(
-        plan.shape,
-        np.concatenate(rows),
-        np.concatenate(cols),
-        np.concatenate(vals),
+    tr = _obs.current()
+    exec_cm = (
+        tr.span(
+            "engine.execute",
+            {"plan": plan.as_dict(), "backend": backend},
+            counter=counter,
+        )
+        if tr is not None else _obs.NULL_SPAN
     )
+    with exec_cm:
+        band_results: List[CSR] = []
+        for i, band in enumerate(plan.bands):
+            if band.nrows == 0:
+                continue
+            band_cm = (
+                tr.span(
+                    "engine.band",
+                    {"band": i, "algo": band.algo, "rows": band.nrows,
+                     "reason": band.reason, "est_cycles": band.est_cycles},
+                )
+                if tr is not None else _obs.NULL_SPAN
+            )
+            with band_cm:
+                full = band.is_full(a.nrows)
+                a_band = a if full else row_slice(a, band.rows)
+                m_band = mask if full else row_slice(mask, band.rows)
+                if plan.panel_width is not None:
+                    c_band = _run_band_panelled(
+                        plan, band, a_band, b, m_band,
+                        semiring=semiring, impl=impl, counter=counter,
+                        backend=backend,
+                    )
+                else:
+                    c_band = _run_band(
+                        plan, band, a_band, b, m_band,
+                        semiring=semiring, impl=impl, counter=counter,
+                        backend=backend,
+                        b_csc=b_csc if band.algo == "inner" else None,
+                    )
+            band_results.append(c_band)
+
+        if len(band_results) == 1:
+            return band_results[0]
+        if not band_results:
+            return CSR.empty(plan.shape)
+        rows, cols, vals = zip(*(part.to_coo() for part in band_results))
+        return CSR.from_coo(
+            plan.shape,
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(vals),
+        )
 
 
 def plan_and_execute(

@@ -30,6 +30,7 @@ Counter semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Optional
 
 __all__ = ["OpCounter"]
 
@@ -57,6 +58,24 @@ class OpCounter:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
+
+    def snapshot(self) -> tuple:
+        """Cheap immutable snapshot of every field (for :meth:`diff`)."""
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+    def diff(self, before: Optional[tuple]) -> dict:
+        """Non-zero per-field deltas since a :meth:`snapshot`.
+
+        ``before=None`` means "since zero" — the full current state.  The
+        tracer (:mod:`repro.observe`) attaches these deltas to spans so a
+        nested span reports exactly the operations charged *inside* it.
+        """
+        out = {}
+        for i, f in enumerate(fields(self)):
+            delta = getattr(self, f.name) - (before[i] if before is not None else 0)
+            if delta:
+                out[f.name] = delta
+        return out
 
     def total_ops(self) -> int:
         """A scalar summary: every counted event, each weighted 1."""

@@ -34,12 +34,14 @@ deliberately absent, as in the paper.
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..machine import OpCounter
+from ..observe import tracer as _obs
 from ..semiring import PLUS_TIMES, Semiring
 from ..sparse import CSC, CSR
 from ..core.masked_spgemm import masked_spgemm
@@ -55,6 +57,8 @@ __all__ = [
 
 #: canonical backend names (aliases: "threads" -> "thread")
 BACKENDS = ("serial", "thread", "process")
+
+_log = logging.getLogger("repro.parallel")
 
 
 def normalize_backend(backend: str) -> str:
@@ -195,35 +199,53 @@ def run_partitioned(
         )
         if result is not None:
             return result
-        backend = "thread"  # untransferable semiring: degrade gracefully
+        # untransferable semiring or missing platform support: degrade
+        # gracefully, but never silently — the backend switch changes the
+        # run's performance characteristics
+        _log.warning(
+            "process backend fell back to thread for semiring %r "
+            "(untransferable or platform unsupported)", semiring.name,
+        )
+        backend = "thread"
 
     counters = [OpCounter() for _ in parts]
 
     def work(idx: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         rows = np.asarray(parts[idx])
-        if rows.size == 0:
-            e = np.empty(0, dtype=np.int64)
-            return e, e, np.empty(0, dtype=np.float64)
-        rng = _contiguous_range(rows)
-        if rng is not None:
-            lo, hi = rng
-            a_s, m_s, offset = row_block(a, lo, hi), row_block(mask, lo, hi), lo
-        else:
-            a_s, m_s, offset = row_slice(a, rows), row_slice(mask, rows), 0
-        c = masked_spgemm(
-            a_s,
-            b,
-            m_s,
-            algo=algo,
-            phases=phases,
-            complement=complement,
-            semiring=semiring,
-            impl=impl,
-            counter=counters[idx],
-            b_csc=b_csc,
+        tr = _obs.current()
+        part_cm = (
+            tr.span(
+                "parallel.partition",
+                {"partition": idx, "backend": backend, "algo": algo,
+                 "rows": int(rows.size)},
+                counter=counters[idx],
+            )
+            if tr is not None else _obs.NULL_SPAN
         )
-        r, cc, v = c.to_coo()
-        return (r + offset if offset else r), cc, v
+        with part_cm:
+            if rows.size == 0:
+                e = np.empty(0, dtype=np.int64)
+                return e, e, np.empty(0, dtype=np.float64)
+            rng = _contiguous_range(rows)
+            if rng is not None:
+                lo, hi = rng
+                a_s, m_s, offset = row_block(a, lo, hi), row_block(mask, lo, hi), lo
+            else:
+                a_s, m_s, offset = row_slice(a, rows), row_slice(mask, rows), 0
+            c = masked_spgemm(
+                a_s,
+                b,
+                m_s,
+                algo=algo,
+                phases=phases,
+                complement=complement,
+                semiring=semiring,
+                impl=impl,
+                counter=counters[idx],
+                b_csc=b_csc,
+            )
+            r, cc, v = c.to_coo()
+            return (r + offset if offset else r), cc, v
 
     if backend == "serial" or len(parts) == 1:
         triples = [work(i) for i in range(len(parts))]
@@ -258,6 +280,7 @@ def _run_partitioned_process(
     token = _pool.encode_semiring(semiring)
     if token is None:
         return None
+    tracer = _obs.current()
 
     with _shm.SegmentGroup() as group:
         a_spec = group.publish_csr(a)
@@ -287,10 +310,18 @@ def _run_partitioned_process(
                     complement=complement,
                     impl=impl,
                     semiring=token,
+                    trace=tracer is not None,
                 )
             )
-        triples, counters = _pool.run_tasks(len(parts), tasks)
+        triples, counters, span_batches = _pool.run_tasks(len(parts), tasks)
 
+    if tracer is not None:
+        # worker-side spans (partition + nested kernel spans) land on the
+        # coordinator timeline with their worker pid/tid labels intact;
+        # one ingest per task batch — ids are only unique within a batch
+        for batch in span_batches:
+            if batch:
+                tracer.ingest(batch)
     return _merge_triples(
         triples, (a.nrows, b.ncols), counters=counters, counter=counter
     )

@@ -41,6 +41,7 @@ import multiprocessing as mp
 import numpy as np
 
 from ..machine import OpCounter
+from ..observe.tracer import NULL_SPAN as _NULL_CM
 from ..semiring import STANDARD_SEMIRINGS, Semiring
 from . import shm as _shm
 
@@ -170,78 +171,135 @@ class PartitionTask:
     complement: bool
     impl: str
     semiring: tuple
+    #: record worker-side spans and ship them back with the result
+    trace: bool = False
 
 
 def _run_task(task: PartitionTask):
-    """Worker entry point: attach, slice, run, return COO + counter.
+    """Worker entry point: attach, slice, run, return COO + counter (+spans).
 
     Runs in a pool worker.  The returned row indices are *global* (the
     contiguous fast path offsets them), so the parent's merge is a plain
     concatenation, identical to the serial and thread backends.
+
+    When ``task.trace`` is set, a worker-local tracer is installed for the
+    duration of the task: the partition span and every nested kernel span
+    it encloses come back serialized in the payload, and the coordinator
+    merges them onto its timeline (:meth:`repro.observe.Tracer.ingest`).
+    The tracer is uninstalled in ``finally`` — the pool is persistent, and
+    later untraced calls must not pay for (or leak into) this one.
     """
     from ..core.masked_spgemm import masked_spgemm
     from .executor import row_block, row_slice
 
-    a = _shm.attach_csr(task.a)
-    b = _shm.attach_csr(task.b)
-    mask = _shm.attach_csr(task.mask)
-    b_csc = _shm.attach_csc(task.b_csc)
-    semiring = decode_semiring(task.semiring)
-    counter = OpCounter()
+    tracer = None
+    prev = None
+    if task.trace:
+        from ..observe.tracer import Tracer, set_tracer
 
-    if task.rows[0] == "range":
-        lo, hi = task.rows[1], task.rows[2]
-        if hi <= lo:
-            return _coo_payload(np.empty(0, np.int64), np.empty(0, np.int64),
-                                np.empty(0, np.float64), counter)
-        a_s, m_s, offset = row_block(a, lo, hi), row_block(mask, lo, hi), lo
-    else:
-        rows = np.asarray(task.rows[1], dtype=np.int64)
-        if rows.size == 0:
-            return _coo_payload(np.empty(0, np.int64), np.empty(0, np.int64),
-                                np.empty(0, np.float64), counter)
-        a_s, m_s, offset = row_slice(a, rows), row_slice(mask, rows), 0
+        tracer = Tracer()
+        prev = set_tracer(tracer)
+    try:
+        a = _shm.attach_csr(task.a)
+        b = _shm.attach_csr(task.b)
+        mask = _shm.attach_csr(task.mask)
+        b_csc = _shm.attach_csc(task.b_csc)
+        semiring = decode_semiring(task.semiring)
+        counter = OpCounter()
 
-    c = masked_spgemm(
-        a_s,
-        b,
-        m_s,
-        algo=task.algo,
-        phases=task.phases,
-        complement=task.complement,
-        semiring=semiring,
-        impl=task.impl,
-        counter=counter,
-        b_csc=b_csc,
-    )
-    r, cc, v = c.to_coo()
-    return _coo_payload(r + offset if offset else r, cc, v, counter)
+        if task.rows[0] == "range":
+            rows_attr = int(task.rows[2]) - int(task.rows[1])
+        else:
+            rows_attr = int(np.asarray(task.rows[1]).size)
+        span_cm = (
+            tracer.span(
+                "parallel.partition",
+                {"backend": "process", "algo": task.algo, "rows": rows_attr},
+                counter=counter,
+            )
+            if tracer is not None else _NULL_CM
+        )
+        # compute inside the span, build the payload after it closes so the
+        # partition span itself is part of the exported records
+        with span_cm:
+            empty = None
+            if task.rows[0] == "range":
+                lo, hi = task.rows[1], task.rows[2]
+                if hi <= lo:
+                    empty = True
+                else:
+                    a_s, m_s, offset = (
+                        row_block(a, lo, hi), row_block(mask, lo, hi), lo,
+                    )
+            else:
+                rows = np.asarray(task.rows[1], dtype=np.int64)
+                if rows.size == 0:
+                    empty = True
+                else:
+                    a_s, m_s, offset = row_slice(a, rows), row_slice(mask, rows), 0
+            if empty:
+                r = cc = np.empty(0, np.int64)
+                v = np.empty(0, np.float64)
+            else:
+                c = masked_spgemm(
+                    a_s,
+                    b,
+                    m_s,
+                    algo=task.algo,
+                    phases=task.phases,
+                    complement=task.complement,
+                    semiring=semiring,
+                    impl=task.impl,
+                    counter=counter,
+                    b_csc=b_csc,
+                )
+                r, cc, v = c.to_coo()
+                if offset:
+                    r = r + offset
+        return _coo_payload(r, cc, v, counter, tracer)
+    finally:
+        if tracer is not None:
+            from ..observe.tracer import set_tracer
+
+            set_tracer(prev)
 
 
-def _coo_payload(rows, cols, vals, counter):
-    return rows, cols, vals, counter
+def _coo_payload(rows, cols, vals, counter, tracer=None):
+    spans = tracer.export() if tracer is not None else []
+    return rows, cols, vals, counter, spans
 
 
 def run_tasks(
     workers: int, tasks: Sequence[PartitionTask]
-) -> Tuple[List[Tuple[np.ndarray, np.ndarray, np.ndarray]], List[OpCounter]]:
+) -> Tuple[
+    List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    List[OpCounter],
+    List[List[dict]],
+]:
     """Run partition tasks on the persistent pool, in submission order.
 
     Results come back ordered by partition index (futures are awaited in
-    order), which keeps the merged output deterministic.  A broken pool
-    (a worker was OOM-killed or crashed) is discarded so the next call
-    starts clean, and the error propagates to the caller.
+    order), which keeps the merged output deterministic.  The third return
+    value holds the serialized worker spans as one batch *per task* (all
+    empty unless the tasks were submitted with ``trace=True``) — batches
+    must stay separate because each task ran under a fresh worker tracer
+    whose span ids start at 1, and ``Tracer.ingest`` remaps ids batch by
+    batch; flattening would cross-link spans from different tasks.  A
+    broken pool (a worker was OOM-killed or crashed) is discarded so the
+    next call starts clean, and the error propagates to the caller.
     """
     pool = get_pool(workers)
     futures = [pool.submit(_run_task, t) for t in tasks]
     triples: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     counters: List[OpCounter] = []
+    span_batches: List[List[dict]] = []
     try:
         for fut in futures:
-            rows, cols, vals, counter = fut.result()
+            rows, cols, vals, counter, spans = fut.result()
             triples.append((rows, cols, vals))
             counters.append(counter)
+            span_batches.append(spans)
     except BrokenProcessPool:
         shutdown_pool()
         raise
-    return triples, counters
+    return triples, counters, span_batches

@@ -1,0 +1,381 @@
+"""Tests for the tracing & metrics layer (:mod:`repro.observe`).
+
+Four contracts, in the order the module docstring states them:
+
+1. Tracing off is (nearly) free — the kernel micro-benchmark through the
+   ``traced_kernel`` wrapper stays within 2% of the undecorated kernel.
+2. Spans nest correctly per thread: parent links, exception handling, and
+   stack hygiene.
+3. Spans cross processes: a process-backend run yields spans from at least
+   two distinct worker pids, and the merged trace's counter totals are
+   bit-for-bit equal to a serial run of the same problem.
+4. Exports are valid: Chrome trace JSON round-trips and carries the plan,
+   the metrics summary reproduces the OpCounter totals, and the report
+   interleaves plan explanation with measured spans.
+
+Cross-process tests carry the ``backend`` marker (CI's backend-smoke job);
+the whole module carries ``trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.kernels.msa_kernel import masked_spgemm_msa_fast
+from repro.engine import Planner
+from repro.engine.executor import execute
+from repro.graphs import erdos_renyi, rmat, relabel_by_degree
+from repro.machine import HASWELL, OpCounter
+from repro.observe import (
+    Tracer,
+    current,
+    metrics,
+    report,
+    set_tracer,
+    timed_span,
+    tracing,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.parallel import parallel_masked_spgemm, shutdown_pool
+from repro.parallel.pool import process_backend_available
+from repro.semiring import PLUS_PAIR, PLUS_TIMES, Semiring
+from repro.apps import triangle_count_detail
+
+pytestmark = pytest.mark.trace
+
+
+def _triple(seed=1):
+    a = erdos_renyi(60, 60, 5, seed=seed, values="uniform")
+    b = erdos_renyi(60, 60, 5, seed=seed + 1, values="uniform")
+    m = erdos_renyi(60, 60, 8, seed=seed + 2)
+    return a, b, m
+
+
+# ----------------------------------------------------------------------
+# 1. disabled-path overhead
+# ----------------------------------------------------------------------
+
+
+class TestDisabledOverhead:
+    def test_no_tracer_installed_by_default(self):
+        assert current() is None
+
+    def test_wrapper_overhead_under_two_percent(self):
+        """`traced_kernel`'s disabled path: one global read per call.
+
+        Times the decorated entry point against ``__wrapped__`` (the bare
+        kernel) with tracing off, min-of-repeats both ways.  The 2% bound
+        is the ISSUE's acceptance criterion; a small absolute floor keeps
+        the test honest on noisy CI machines where a sub-millisecond
+        kernel can jitter more than 2% for reasons unrelated to tracing.
+        """
+        a, b, m = _triple()
+        bare = masked_spgemm_msa_fast.__wrapped__
+        # warm both paths (allocators, caches)
+        masked_spgemm_msa_fast(a, b, m, semiring=PLUS_TIMES)
+        bare(a, b, m, semiring=PLUS_TIMES)
+
+        def best_of(fn, trials=7, calls=20):
+            best = float("inf")
+            for _ in range(trials):
+                t0 = time.perf_counter()
+                for _ in range(calls):
+                    fn(a, b, m, semiring=PLUS_TIMES)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        assert current() is None
+        t_bare = best_of(bare)
+        t_wrapped = best_of(masked_spgemm_msa_fast)
+        assert t_wrapped <= t_bare * 1.02 + 200e-6, (
+            f"disabled-path overhead too high: {t_wrapped:.6f}s wrapped "
+            f"vs {t_bare:.6f}s bare"
+        )
+
+    def test_wrapped_attribute_reaches_bare_kernel(self):
+        assert masked_spgemm_msa_fast.__wrapped__ is not masked_spgemm_msa_fast
+
+    def test_timed_span_measures_without_tracer(self):
+        assert current() is None
+        with timed_span("x") as sp:
+            time.sleep(0.001)
+        assert sp.seconds >= 0.001
+
+
+# ----------------------------------------------------------------------
+# 2. span nesting / integrity
+# ----------------------------------------------------------------------
+
+
+class TestSpanIntegrity:
+    def test_nesting_parent_links(self):
+        with tracing() as tr:
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    pass
+                with tr.span("inner2"):
+                    pass
+        by_name = {sp.name: sp for sp in tr.spans}
+        outer, inner, inner2 = by_name["outer"], by_name["inner"], by_name["inner2"]
+        assert inner.parent_id == outer.span_id
+        assert inner2.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.span_id != inner2.span_id
+        assert all(sp.pid == os.getpid() for sp in tr.spans)
+        assert tr.depth() == 0
+
+    def test_exception_closes_span_and_tags_error(self):
+        with tracing() as tr:
+            with pytest.raises(ValueError):
+                with tr.span("will_fail"):
+                    raise ValueError("boom")
+        (sp,) = tr.spans
+        assert sp.name == "will_fail"
+        assert sp.attrs["error"] == "ValueError"
+        assert tr.depth() == 0
+
+    def test_counter_delta_attached(self):
+        c = OpCounter()
+        c.flops = 100
+        with tracing() as tr:
+            with tr.span("work", counter=c):
+                c.flops += 7
+                c.output_nnz += 3
+        (sp,) = tr.spans
+        assert sp.counters == {"flops": 7, "output_nnz": 3}
+
+    def test_tracing_restores_previous(self):
+        assert current() is None
+        with tracing() as outer_tr:
+            assert current() is outer_tr
+            with tracing() as inner_tr:
+                assert current() is inner_tr
+            assert current() is outer_tr
+        assert current() is None
+
+    def test_ingest_remaps_ids_preserves_structure(self):
+        worker = Tracer()
+        prev = set_tracer(None)  # make sure ids are local to `worker`
+        try:
+            with worker.span("parent"):
+                with worker.span("child"):
+                    pass
+        finally:
+            set_tracer(prev)
+        records = worker.export()
+        # mimic a foreign pid so track labelling is exercised
+        for rec in records:
+            rec["pid"] = 99999
+
+        coord = Tracer()
+        with coord.span("local"):
+            pass
+        coord.ingest(records)
+        spans = {sp.name: sp for sp in coord.spans}
+        assert spans["child"].parent_id == spans["parent"].span_id
+        assert spans["parent"].parent_id is None
+        assert spans["parent"].pid == 99999
+        ids = [sp.span_id for sp in coord.spans]
+        assert len(ids) == len(set(ids)), "ingested ids must not collide"
+
+
+# ----------------------------------------------------------------------
+# 3. engine / kernels emit spans; exports are valid
+# ----------------------------------------------------------------------
+
+
+class TestExports:
+    @pytest.fixture(scope="class")
+    def traced_tc(self):
+        """One traced serial triangle count, shared across export tests."""
+        g = rmat(8, seed=5)
+        counter = OpCounter()
+        with tracing() as tr:
+            res = triangle_count_detail(
+                g, algo="auto", backend="serial", counter=counter
+            )
+        return g, res, counter, tr
+
+    def test_expected_span_names(self, traced_tc):
+        _, _, _, tr = traced_tc
+        names = {sp.name for sp in tr.spans}
+        assert "tc.run" in names
+        assert "tc.spgemm" in names
+        assert "engine.execute" in names
+        assert "engine.band" in names
+        assert any(n.startswith("kernel.") for n in names)
+
+    def test_chrome_trace_round_trips_with_plan(self, traced_tc, tmp_path):
+        _, _, _, tr = traced_tc
+        path = tmp_path / "tc.trace.json"
+        write_chrome_trace(path, tr)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events, "trace must not be empty"
+        x = [e for e in events if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in x)
+        execs = [e for e in x if e["name"] == "engine.execute"]
+        assert execs and "plan" in execs[0]["args"], (
+            "engine.execute event must carry the plan metadata"
+        )
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "coordinator" for e in meta)
+
+    def test_metrics_reproduce_counter_totals(self, traced_tc):
+        _, _, counter, tr = traced_tc
+        m = metrics(tr, machine=HASWELL)
+        want = {k: v for k, v in counter.as_dict().items() if v}
+        assert m["counter_totals"] == want, (
+            "leaf-span counter totals must equal the run's OpCounter"
+        )
+        assert m["seconds_by_phase"].get("numeric", 0.0) > 0.0
+        assert m["bytes_moved_estimate"] > 0
+        assert m["machine"] == HASWELL.name
+        assert m["process_count"] == 1
+
+    def test_metrics_json_serializable(self, traced_tc, tmp_path):
+        _, _, _, tr = traced_tc
+        path = tmp_path / "tc.metrics.json"
+        write_metrics(path, tr, machine=HASWELL)
+        doc = json.loads(path.read_text())
+        assert doc["span_count"] == len(tr.spans)
+
+    def test_report_interleaves_plan_and_spans(self, traced_tc):
+        g, _, _, tr = traced_tc
+        low = relabel_by_degree(g.pattern()).tril(-1)
+        pl = Planner(HASWELL).plan(low, low, low)
+        text = report(tr, plan=pl)
+        assert "tc.run" in text
+        assert "engine.execute" in text
+        assert "modeled" in text.lower()
+
+    def test_tracing_does_not_change_results(self, traced_tc):
+        g, res, counter, _ = traced_tc
+        ref_counter = OpCounter()
+        ref = triangle_count_detail(
+            g, algo="auto", backend="serial", counter=ref_counter
+        )
+        assert ref.triangles == res.triangles
+        assert ref_counter.as_dict() == counter.as_dict()
+
+    def test_apps_report_timings_untraced(self):
+        assert current() is None
+        g = rmat(7, seed=2)
+        res = triangle_count_detail(g, algo="msa")
+        assert res.total_seconds > 0
+        assert res.spgemm_seconds > 0
+        assert res.total_seconds >= res.spgemm_seconds
+
+
+# ----------------------------------------------------------------------
+# 4. cross-process span collection (backend marker: CI smoke job)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.backend
+class TestProcessBackendTracing:
+    @pytest.fixture(scope="class", autouse=True)
+    def _pool_teardown(self):
+        yield
+        shutdown_pool()
+
+    @pytest.mark.skipif(
+        not process_backend_available(), reason="no shared-memory support"
+    )
+    def test_worker_spans_and_counter_equivalence(self):
+        low = relabel_by_degree(rmat(11, seed=1).pattern()).tril(-1)
+
+        c_serial = OpCounter()
+        ref = parallel_masked_spgemm(
+            low, low, low, algo="msa", threads=4, backend="serial",
+            semiring=PLUS_PAIR, counter=c_serial,
+        )
+        c_proc = OpCounter()
+        with tracing() as tr:
+            got = parallel_masked_spgemm(
+                low, low, low, algo="msa", threads=4, backend="process",
+                semiring=PLUS_PAIR, counter=c_proc,
+            )
+
+        # results and counters: bit-for-bit equal to the serial run
+        assert np.array_equal(got.indptr, ref.indptr)
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.data, ref.data)
+        assert c_proc.as_dict() == c_serial.as_dict()
+
+        # spans from >= 2 distinct worker pids, merged onto the timeline
+        me = os.getpid()
+        worker_pids = {sp.pid for sp in tr.spans if sp.pid != me}
+        assert len(worker_pids) >= 2, (
+            f"expected spans from >=2 worker processes, got {worker_pids}"
+        )
+        part = [sp for sp in tr.spans if sp.name == "parallel.partition"]
+        assert part and all(sp.pid != me for sp in part)
+        assert all(sp.attrs.get("backend") == "process" for sp in part)
+        kern = [sp for sp in tr.spans if sp.name.startswith("kernel.")]
+        assert kern and all(sp.pid != me for sp in kern)
+
+        # parent links survive the merge: every worker kernel span hangs
+        # under a partition span from the *same* pid (a flattened-ingest
+        # id collision would cross-link kernels onto a foreign partition)
+        by_id = {sp.span_id: sp for sp in tr.spans}
+        for sp in kern:
+            parent = by_id[sp.parent_id]
+            assert parent.name == "parallel.partition"
+            assert parent.pid == sp.pid
+            assert parent.t0 <= sp.t0 and sp.t1 <= parent.t1
+
+        # the merged trace's leaf counters reproduce the whole-run totals
+        m = metrics(tr)
+        want = {k: v for k, v in c_serial.as_dict().items() if v}
+        assert m["counter_totals"] == want
+        assert m["process_count"] >= 3  # coordinator + >=2 workers
+
+    @pytest.mark.skipif(
+        not process_backend_available(), reason="no shared-memory support"
+    )
+    def test_untraced_process_run_ships_no_spans(self):
+        low = relabel_by_degree(rmat(9, seed=3).pattern()).tril(-1)
+        assert current() is None
+        out = parallel_masked_spgemm(
+            low, low, low, algo="msa", threads=2, backend="process",
+            semiring=PLUS_PAIR,
+        )
+        assert out.nnz >= 0  # ran; nothing to trace, nothing crashed
+
+
+# ----------------------------------------------------------------------
+# semiring fallback: loud, recorded on the plan
+# ----------------------------------------------------------------------
+
+
+class TestSemiringFallback:
+    def test_unpicklable_semiring_warns_and_notes_plan(self, caplog):
+        a, b, m = _triple(seed=9)
+        weird = Semiring(
+            "local_lambda", lambda x, y: x + y, lambda x, y: x * y
+        )
+        pl = Planner(HASWELL).plan(a, b, m, backend="process")
+        assert pl.backend == "process"
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            got = execute(pl, a, b, m, semiring=weird)
+        assert any(
+            "fell back to thread" in r.message for r in caplog.records
+        ), "degradation must be logged on the repro logger"
+        assert any("fell back to thread" in n for n in pl.notes), (
+            "degradation must be recorded in the plan's notes"
+        )
+        ref = execute(
+            Planner(HASWELL).plan(a, b, m, backend="serial"), a, b, m,
+            semiring=weird,
+        )
+        assert np.array_equal(got.indptr, ref.indptr)
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.allclose(got.data, ref.data)
