@@ -6,6 +6,12 @@ machine model carries the paper's *shape* claims), renders the same rows /
 series / grids the paper plots, writes them to ``benchmarks/results/`` and
 asserts the paper's qualitative findings.
 
+Artifacts: every figure writes a ``<test-stem>.txt`` (the rendered ASCII
+table) and, when the test passes structured ``data``, a ``<test-stem>.json``
+twin through :func:`repro.bench.reporting.save_figure_json` — one shared
+JSON emitter instead of per-file ``json.dumps`` recipes, so every results
+file carries the same ``{"title", "rendered", "data"}`` envelope.
+
 Environment knobs:
 
 * ``REPRO_MEASURED=1`` — additionally run the wall-clock (measured) variant
@@ -34,13 +40,19 @@ def results_dir() -> Path:
 
 @pytest.fixture
 def save_result(results_dir, request):
-    """Write a rendered figure to benchmarks/results/<test-stem>.txt and
-    echo it to stdout."""
+    """Write a rendered figure to benchmarks/results/<test-stem>.txt (and,
+    given structured ``data``, a .json twin) and echo it to stdout."""
+    from repro.bench.reporting import save_figure_json
 
-    def _save(text: str, suffix: str = "") -> None:
+    def _save(text: str, suffix: str = "", data=None, title: str = "") -> None:
         stem = request.node.name.replace("/", "_").replace("[", "_").replace("]", "")
         path = results_dir / f"{stem}{suffix}.txt"
         path.write_text(text + "\n")
+        if data is not None:
+            save_figure_json(
+                results_dir / f"{stem}{suffix}.json", data,
+                title=title or stem, rendered=text,
+            )
         print()
         print(text)
 

@@ -17,7 +17,6 @@ are enforced.  Bitwise equality across backends is asserted always.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
@@ -106,17 +105,14 @@ def test_backend_scaling_rmat_tc(benchmark, results_dir, save_result):
             for (backend, workers), t in sorted(times.items())
         ],
     }
-    (results_dir / "backend_scaling.json").write_text(
-        json.dumps(record, indent=2) + "\n"
-    )
-
     lines = [f"Backend scaling, R-MAT TC (cpu_count={cpus}):"]
     for (backend, workers), t in sorted(times.items()):
         lines.append(
             f"  {backend:>7s} x{workers}: {t * 1e3:8.1f} ms  "
             f"speedup {base / t:4.2f}x"
         )
-    save_result("\n".join(lines))
+    save_result("\n".join(lines), data=record,
+                title="serial vs thread vs process backend scaling")
 
     # sanity bound everywhere: no backend may catastrophically regress
     for key, t in times.items():

@@ -23,6 +23,7 @@ def test_fig07_density_grid(benchmark, machine, save_result):
         rounds=1,
         iterations=1,
     )
+    title = f"Figure 7 — best scheme per density cell ({machine.name}, n={res.n})"
     save_result(
         render_grid(
             "input_deg",
@@ -30,8 +31,17 @@ def test_fig07_density_grid(benchmark, machine, save_result):
             res.input_degrees,
             res.mask_degrees,
             res.winners,
-            title=f"Figure 7 — best scheme per density cell ({machine.name}, n={res.n})",
-        )
+            title=title,
+        ),
+        data={
+            "input_degrees": res.input_degrees,
+            "mask_degrees": res.mask_degrees,
+            "winners": res.winners,
+            "times": res.times,
+            "n": res.n,
+            "machine": res.machine,
+        },
+        title=title,
     )
 
     w = res.winners

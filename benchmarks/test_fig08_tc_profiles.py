@@ -23,9 +23,13 @@ def test_fig08_tc_profiles_model(benchmark, save_result):
         rounds=1,
         iterations=1,
     )
-    save_result(render_profile(
-        prof, title="Figure 8 — TC performance profiles (model, haswell)"
-    ))
+    title = "Figure 8 — TC performance profiles (model, haswell)"
+    save_result(
+        render_profile(prof, title=title),
+        data={"schemes": prof.schemes, "cases": prof.cases,
+              "ratios": prof.ratios, "ranking": prof.ranking()},
+        title=title,
+    )
 
     assert len(prof.cases) == 26
     ranking = prof.ranking()

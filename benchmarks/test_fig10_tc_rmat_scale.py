@@ -26,10 +26,12 @@ def test_fig10_tc_rmat_scaling(benchmark, machine, save_result):
         rounds=1,
         iterations=1,
     )
-    save_result(render_series(
-        "scale", res.xs, res.series,
-        title=f"Figure 10 — TC GFLOPS vs R-MAT scale ({machine.name})",
-    ))
+    title = f"Figure 10 — TC GFLOPS vs R-MAT scale ({machine.name})"
+    save_result(
+        render_series("scale", res.xs, res.series, title=title),
+        data={"xs": res.xs, "series": res.series, "machine": machine.name},
+        title=title,
+    )
 
     # MSA-1P attains the highest peak GFLOPS on Haswell; on KNL (no L3)
     # the pull-based Inner can tie it within a few percent at laptop

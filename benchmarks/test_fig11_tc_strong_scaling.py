@@ -25,11 +25,12 @@ def test_fig11_tc_strong_scaling(benchmark, machine, save_result):
         rounds=1,
         iterations=1,
     )
-    save_result(render_series(
-        "threads", res.xs, res.series,
-        title=f"Figure 11 — TC strong scaling, R-MAT scale 13 ({machine.name})",
-        fmt="{:.2f}",
-    ))
+    title = f"Figure 11 — TC strong scaling, R-MAT scale 13 ({machine.name})"
+    save_result(
+        render_series("threads", res.xs, res.series, title=title, fmt="{:.2f}"),
+        data={"xs": res.xs, "series": res.series, "machine": machine.name},
+        title=title,
+    )
 
     full = res.xs[-1]
     for name, curve in res.series.items():

@@ -6,9 +6,18 @@ Usage::
     python -m repro.bench --all                       # every figure
     python -m repro.bench --figure 10 --machine knl --mode measured
     python -m repro.bench --figure 7 --scale-factor 2.0
+    python -m repro.bench --figure 8 --mode measured --repeats 5 \
+        --trace-dir results/traces                    # per-run artifacts
+    python -m repro.bench --baseline BENCH_history.json  # regression gate
 
 Prints the same rows/series/grids the paper's figures plot, as ASCII
 tables (see ``benchmarks/`` for the asserting pytest harness).
+``--repeats`` sets the timed repeats of measured-mode experiments;
+``--trace-dir`` drops per-(scheme, case) Chrome-trace + metrics artifacts
+there (the directory's parent must exist — a typo'd path is an error, not
+a silently created tree).  ``--baseline`` skips the figures entirely and
+runs the benchmark-history regression gate (:mod:`repro.bench.regress`)
+against the given history file, propagating its exit code.
 """
 
 from __future__ import annotations
@@ -45,11 +54,15 @@ def run_figure(num: int, args) -> str:
             "input_deg", "mask_deg", res.input_degrees, res.mask_degrees,
             res.winners, title=f"Figure 7 ({machine.name}, n={res.n})",
         )
+    repeats = args.repeats
+    trace_dir = args.trace_dir
     if num == 8:
-        prof = exp.fig08_tc_profiles(mode=mode, machine=machine, scale_factor=sf)
+        prof = exp.fig08_tc_profiles(mode=mode, machine=machine, scale_factor=sf,
+                                     repeats=repeats, trace_dir=trace_dir)
         return render_profile(prof, title=f"Figure 8 — TC profiles ({mode})")
     if num == 9:
-        prof = exp.fig09_tc_vs_ssgb(mode=mode, machine=machine, scale_factor=sf)
+        prof = exp.fig09_tc_vs_ssgb(mode=mode, machine=machine, scale_factor=sf,
+                                    repeats=repeats, trace_dir=trace_dir)
         return render_profile(prof, title=f"Figure 9 — TC vs SS:GB ({mode})")
     if num == 10:
         res = exp.fig10_tc_rmat_scaling(machine=machine, mode=mode)
@@ -61,11 +74,13 @@ def run_figure(num: int, args) -> str:
                              title=f"Figure 11 — TC speedup ({machine.name})")
     if num == 12:
         prof = exp.fig12_ktruss_profiles(mode=mode, machine=machine,
-                                         scale_factor=sf)
+                                         scale_factor=sf, repeats=repeats,
+                                         trace_dir=trace_dir)
         return render_profile(prof, title=f"Figure 12 — k-truss profiles ({mode})")
     if num == 13:
         prof = exp.fig13_ktruss_vs_ssgb(mode=mode, machine=machine,
-                                        scale_factor=sf)
+                                        scale_factor=sf, repeats=repeats,
+                                        trace_dir=trace_dir)
         return render_profile(prof, title=f"Figure 13 — k-truss vs SS:GB ({mode})")
     if num == 14:
         res = exp.fig14_ktruss_rmat_scaling(machine=machine, mode=mode)
@@ -78,7 +93,8 @@ def run_figure(num: int, args) -> str:
                              title=f"Figure 15 — BC MTEPS ({machine.name})")
     if num == 16:
         prof = exp.fig16_bc_profiles(mode=mode, machine=machine,
-                                     scale_factor=sf, batch_size=args.bc_batch)
+                                     scale_factor=sf, batch_size=args.bc_batch,
+                                     repeats=repeats, trace_dir=trace_dir)
         return render_profile(prof, title=f"Figure 16 — BC profiles ({mode})")
     raise ValueError(f"unknown figure {num}")
 
@@ -99,14 +115,34 @@ def main(argv=None) -> int:
                         help="suite graph size multiplier")
     parser.add_argument("--bc-batch", type=int, default=32,
                         help="betweenness-centrality batch size")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timed repeats for measured-mode experiments")
+    parser.add_argument("--trace-dir",
+                        help="measured mode: write per-(scheme, case) trace "
+                             "and metrics JSON artifacts here")
+    parser.add_argument("--baseline",
+                        help="run the history regression gate against this "
+                             "BENCH_history.json instead of any figure")
     args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    if args.baseline is not None:
+        from .regress import main as regress_main
+
+        return regress_main(["--baseline", args.baseline,
+                             "--repeats", str(args.repeats)])
 
     if not args.all and args.figure is None:
-        parser.error("pass --figure N or --all")
+        parser.error("pass --figure N, --all, or --baseline")
     figures = sorted(FIGURES) if args.all else [args.figure]
     for num in figures:
         t0 = time.time()
-        print(run_figure(num, args))
+        try:
+            print(run_figure(num, args))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(f"[figure {num}: {time.time() - t0:.1f}s]\n")
     return 0
 

@@ -20,6 +20,7 @@ __all__ = [
     "render_series",
     "render_grid",
     "save_json",
+    "save_figure_json",
     "load_json",
 ]
 
@@ -129,6 +130,20 @@ def save_json(path, payload: dict) -> None:
 
     with open(path, "w") as fh:
         json.dump(conv(payload), fh, indent=1, allow_nan=False, default=str)
+
+
+def save_figure_json(path, data, *, title: str = "", rendered: str = "") -> None:
+    """The one JSON emitter every figure benchmark shares.
+
+    Wraps an experiment's structured numbers in a uniform envelope —
+    ``{"title", "rendered", "data"}`` — so downstream tooling (the history
+    store's consumers, ad-hoc notebooks) can read any
+    ``benchmarks/results/*.json`` without knowing which figure produced
+    it.  ``rendered`` carries the ASCII table the `.txt` twin shows; the
+    machine-readable truth lives under ``data`` (converted exactly as
+    :func:`save_json` converts: tuple keys flattened, NumPy unwrapped).
+    """
+    save_json(path, {"title": title, "rendered": rendered, "data": data})
 
 
 def load_json(path) -> dict:

@@ -42,6 +42,7 @@ __all__ = [
     "FAST_SCHEMES",
     "scheme_by_name",
     "measured_seconds",
+    "measured_sample_seconds",
     "modeled_seconds",
     "run_cases",
     "Call",
@@ -99,15 +100,17 @@ def scheme_by_name(name: str) -> Scheme:
     return _BY_NAME[name]
 
 
-def _run_call(scheme: Scheme, call: Call, semiring: Semiring) -> CSR:
+def _run_call(scheme: Scheme, call: Call, semiring: Semiring, counter=None) -> CSR:
     a, b, m, compl = call
     if scheme.algo == "ssgb_dot":
-        return ssgb_dot(a, b, m, complement=compl, semiring=semiring)
+        return ssgb_dot(a, b, m, complement=compl, semiring=semiring,
+                        counter=counter)
     if scheme.algo == "ssgb_saxpy":
-        return ssgb_saxpy(a, b, m, complement=compl, semiring=semiring)
+        return ssgb_saxpy(a, b, m, complement=compl, semiring=semiring,
+                          counter=counter)
     return masked_spgemm(
         a, b, m, algo=scheme.algo, phases=scheme.phases,
-        complement=compl, semiring=semiring, impl="auto",
+        complement=compl, semiring=semiring, impl="auto", counter=counter,
     )
 
 
@@ -119,13 +122,34 @@ def measured_seconds(
     repeats: int = 1,
 ) -> float:
     """Wall-clock seconds to execute the call sequence (min over repeats)."""
-    best = float("inf")
+    return min(measured_sample_seconds(scheme, calls, semiring=semiring,
+                                       repeats=repeats))
+
+
+def measured_sample_seconds(
+    scheme: Scheme,
+    calls: Sequence[Call],
+    *,
+    semiring: Semiring = PLUS_TIMES,
+    repeats: int = 1,
+    counter=None,
+) -> List[float]:
+    """Per-repeat wall-clock samples for the call sequence.
+
+    The raw material for robust statistics: the benchmark history store
+    (:mod:`repro.bench.history`) keeps median + MAD over these instead of
+    the min, so its regression gate has a noise estimate to work with.
+    ``counter`` (an :class:`~repro.machine.OpCounter`) is threaded into
+    every call — the history store's traced pass uses it to attach the
+    deterministic work certificate to each timing record.
+    """
+    samples: List[float] = []
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
         for call in calls:
-            _run_call(scheme, call, semiring)
-        best = min(best, time.perf_counter() - t0)
-    return best
+            _run_call(scheme, call, semiring, counter)
+        samples.append(time.perf_counter() - t0)
+    return samples
 
 
 def modeled_seconds(
@@ -160,6 +184,25 @@ def _artifact_slug(name: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-")
 
 
+def _validate_trace_dir(trace_dir: str) -> str:
+    """Create and return a usable trace-artifact directory.
+
+    The directory itself may not exist yet, but its *parent* must, and the
+    path must not name a file — silently materialising a whole missing tree
+    (the old ``makedirs`` behaviour) turns a typo'd ``--trace-dir`` into a
+    run whose artifacts land somewhere nobody looks."""
+    path = os.path.abspath(trace_dir)
+    if os.path.isfile(path):
+        raise ValueError(f"trace_dir {trace_dir!r} is an existing file")
+    parent = os.path.dirname(path)
+    if not os.path.isdir(parent):
+        raise ValueError(
+            f"trace_dir {trace_dir!r}: parent directory {parent!r} does not exist"
+        )
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
 def run_cases(
     cases: Mapping[str, Sequence[Call]],
     schemes: Sequence[Scheme],
@@ -189,7 +232,7 @@ def run_cases(
     if mode not in ("model", "measured"):
         raise ValueError("mode must be 'model' or 'measured'")
     if trace_dir is not None and mode == "measured":
-        os.makedirs(trace_dir, exist_ok=True)
+        trace_dir = _validate_trace_dir(trace_dir)
     out: Dict[str, Dict[str, float]] = {}
     for scheme in schemes:
         row: Dict[str, float] = {}

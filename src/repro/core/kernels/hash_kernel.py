@@ -31,6 +31,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ...machine import OpCounter
+from ...observe import probes as _probes
 from ...observe.tracer import traced_kernel
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSR
@@ -59,6 +60,7 @@ class VectorHashTable:
         counter: Optional[OpCounter] = None,
         *,
         keys_lease=None,
+        chain_hist=None,
     ):
         need = max(4, int(max_keys) * 4)  # load factor 0.25
         cap = 1 << (need - 1).bit_length()
@@ -69,6 +71,10 @@ class VectorHashTable:
         else:
             self.keys = np.full(cap, _EMPTY, dtype=np.int64)
         self.counter = counter
+        #: probe-chain length histogram (repro.observe.probes).  A key that
+        #: resolves in round r consumed exactly r probes, so summing chain
+        #: lengths over keys reproduces ``OpCounter.hash_probes`` exactly.
+        self.chain_hist = chain_hist
 
     def _hash(self, keys: np.ndarray) -> np.ndarray:
         return (keys * _HASH_SCAL) & self.mask
@@ -80,7 +86,9 @@ class VectorHashTable:
         slots = np.empty(keys.shape[0], dtype=np.int64)
         pend = np.arange(keys.shape[0], dtype=np.int64)
         pos = self._hash(keys)
+        rounds = 0
         while pend.shape[0]:
+            rounds += 1
             if self.counter is not None:
                 self.counter.hash_probes += int(pend.shape[0])
             p = pos[pend]
@@ -92,7 +100,12 @@ class VectorHashTable:
             self.keys[p[free]] = keys[claim]
             won = self.keys[p] == keys[pend]
             slots[pend[won]] = p[won]
+            before = pend.shape[0]
             pend = pend[~won]
+            if self.chain_hist is not None:
+                # lanes resolved this round = pending-set shrinkage: no extra
+                # reduction on the hot path, the shapes are already known
+                self.chain_hist.record(rounds, before - pend.shape[0])
             pos[pend] = (pos[pend] + 1) & self.mask
         return slots
 
@@ -102,7 +115,9 @@ class VectorHashTable:
         slots = np.full(keys.shape[0], -1, dtype=np.int64)
         pend = np.arange(keys.shape[0], dtype=np.int64)
         pos = self._hash(keys)
+        rounds = 0
         while pend.shape[0]:
+            rounds += 1
             if self.counter is not None:
                 self.counter.hash_probes += int(pend.shape[0])
             p = pos[pend]
@@ -112,7 +127,10 @@ class VectorHashTable:
             slots[pend[hit]] = p[hit]
             found[pend[hit]] = True
             cont = ~(hit | miss)
+            before = pend.shape[0]
             pend = pend[cont]
+            if self.chain_hist is not None:
+                self.chain_hist.record(rounds, before - pend.shape[0])
             pos[pend] = (pos[pend] + 1) & self.mask
         return found, slots
 
@@ -154,6 +172,11 @@ def masked_spgemm_hash_fast(
     out_cols = []
     out_vals = []
 
+    # micro-telemetry: one module-attribute read; everything below records
+    # per *block*, so the enabled path stays off the per-element hot loop
+    pr = _probes._INSTALLED
+    chain_hist = pr.hist("hash.probe_chain") if pr is not None else None
+
     # table scratch leased from the arena: the key/value/set arrays stay hot
     # across blocks *and* across calls; each block resets exactly the slots
     # it occupied (all writes land in m_slots — see VectorHashTable docs)
@@ -177,11 +200,17 @@ def masked_spgemm_hash_fast(
             if m_keys.shape[0] == 0 and not complement:
                 continue
             table = VectorHashTable(
-                max(1, m_keys.shape[0]), counter, keys_lease=keys_lease
+                max(1, m_keys.shape[0]), counter, keys_lease=keys_lease,
+                chain_hist=chain_hist,
             )
             m_slots = (
                 table.insert(m_keys) if m_keys.shape[0] else np.empty(0, np.int64)
             )
+            if pr is not None:
+                # realized load factor, in percent (sized for <= 25%)
+                pr.hist("hash.load_factor_pct").record(
+                    int(100 * m_keys.shape[0] // table.cap)
+                )
 
             if complement:
                 found, _ = table.lookup(p_keys) if p_keys.shape[0] else (
@@ -210,6 +239,14 @@ def masked_spgemm_hash_fast(
                 emit = set_tab[m_slots]
                 if counter is not None:
                     counter.accum_removes += int(m_slots.shape[0])
+                if pr is not None and hi > lo:
+                    # mask routing per row: how many mask positions became
+                    # output (hits) vs stayed empty (misses)
+                    hits = np.bincount(m_rows[emit] - lo, minlength=hi - lo)
+                    pr.hist("mask.row_hits").record_array(hits)
+                    pr.hist("mask.row_misses").record_array(
+                        np.bincount(m_rows - lo, minlength=hi - lo) - hits
+                    )
                 out_rows.append(m_rows[emit])
                 out_cols.append(m_cols[emit])
                 out_vals.append(vals_tab[m_slots[emit]])

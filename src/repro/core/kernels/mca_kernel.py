@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 
 from ...machine import OpCounter
+from ...observe import probes as _probes
 from ...observe.tracer import traced_kernel
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSR
@@ -58,6 +59,7 @@ def masked_spgemm_mca_fast(
     out_cols = []
     out_vals = []
 
+    pr = _probes._INSTALLED  # one read; recordings below are per block
     for lo, hi in iter_row_blocks(a, b, flop_budget):
         mlo, mhi = int(mask.indptr[lo]), int(mask.indptr[hi])
         nm = mhi - mlo
@@ -88,6 +90,18 @@ def masked_spgemm_mca_fast(
         if counter is not None:
             counter.flops += int(match.sum())
             counter.accum_removes += nm
+        if pr is not None:
+            # compressed-space utilisation: SET ranks vs nnz(mask block) —
+            # MCA's working set is exactly nm, so this is its hit rate
+            pr.hist("mca.touched_per_mask_pct").record(
+                int(100 * int(is_set.sum()) // max(1, nm))
+            )
+            if hi > lo:
+                hits = np.bincount(m_rows[is_set] - lo, minlength=hi - lo)
+                pr.hist("mask.row_hits").record_array(hits)
+                pr.hist("mask.row_misses").record_array(
+                    np.bincount(m_rows - lo, minlength=hi - lo) - hits
+                )
 
         out_rows.append(m_rows[is_set])
         out_cols.append(m_cols[is_set])

@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from ...machine import OpCounter
+from ...observe import probes as _probes
 from ...observe.tracer import traced_kernel
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSR
@@ -98,6 +99,7 @@ def _msa_blocks(
     state_lease, values_lease, out_rows, out_cols, out_vals,
 ):
     """The per-block MSA loop over leased dense scratch."""
+    pr = _probes._INSTALLED  # one read; recordings below are per block
     for lo, hi in blocks:
         width = hi - lo
         need = width * n
@@ -136,6 +138,10 @@ def _msa_blocks(
             if counter is not None:
                 counter.accum_removes += int(touched.shape[0])
                 counter.spa_resets += int(touched.shape[0] + m_flat.shape[0])
+            if pr is not None:
+                pr.hist("msa.reset_cells").record(
+                    int(touched.shape[0] + m_flat.shape[0])
+                )
         else:
             state[m_flat] = True  # True == ALLOWED
             keep = state[p_flat]
@@ -156,3 +162,20 @@ def _msa_blocks(
             if counter is not None:
                 counter.accum_removes += int(m_flat.shape[0])
                 counter.spa_resets += int(m_flat.shape[0])
+            if pr is not None:
+                # touched cells vs nnz(m): what fraction of the mask's dense
+                # footprint the row block actually used (the reset-list
+                # amortisation the paper's Section 5.2 argues for)
+                nm = int(m_flat.shape[0])
+                pr.hist("msa.touched_per_mask_pct").record(
+                    int(100 * int(emit.sum()) // max(1, nm))
+                )
+                pr.hist("msa.reset_cells").record(nm)
+                if hi > lo:
+                    hits = np.bincount(
+                        m_rows_local[emit], minlength=hi - lo
+                    )
+                    pr.hist("mask.row_hits").record_array(hits)
+                    pr.hist("mask.row_misses").record_array(
+                        np.bincount(m_rows_local, minlength=hi - lo) - hits
+                    )

@@ -25,6 +25,13 @@ Counter semantics:
   ``nnz(m)/load_factor`` per row).
 * ``spa_resets`` — cells cleared when recycling a dense accumulator.
 * ``symbolic_flops`` — work done in a 2P symbolic phase.
+
+Schema growth: counters cross process and file boundaries (pool workers
+pickle them back; the benchmark history stores their dict form), so every
+consumer of *another* counter's fields must tolerate a field the producer
+predates.  :meth:`OpCounter.merge` treats a missing field as 0 and
+:meth:`OpCounter.diff` accepts snapshots shorter than the current field
+list — adding a counter must never make old payloads unreadable.
 """
 
 from __future__ import annotations
@@ -54,9 +61,15 @@ class OpCounter:
     output_nnz: int = 0
 
     def merge(self, other: "OpCounter") -> "OpCounter":
-        """Accumulate another counter into this one (in place)."""
+        """Accumulate another counter into this one (in place).
+
+        ``other`` may be an older-schema counter (unpickled from a worker
+        running previous code, or reconstructed from a stored dict) that
+        lacks recently added fields; those merge as 0 instead of raising.
+        """
         for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name, 0))
         return self
 
     def snapshot(self) -> tuple:
@@ -66,16 +79,26 @@ class OpCounter:
     def diff(self, before: Optional[tuple]) -> dict:
         """Non-zero per-field deltas since a :meth:`snapshot`.
 
-        ``before=None`` means "since zero" — the full current state.  The
+        ``before=None`` means "since zero" — the full current state.  A
+        snapshot shorter than the current field list (taken before a
+        schema grew) reads as 0 for the missing trailing fields.  The
         tracer (:mod:`repro.observe`) attaches these deltas to spans so a
         nested span reports exactly the operations charged *inside* it.
         """
         out = {}
         for i, f in enumerate(fields(self)):
-            delta = getattr(self, f.name) - (before[i] if before is not None else 0)
+            base = before[i] if before is not None and i < len(before) else 0
+            delta = getattr(self, f.name) - base
             if delta:
                 out[f.name] = delta
         return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "OpCounter":
+        """Rebuild from :meth:`as_dict` output, ignoring unknown keys — a
+        newer producer's extra counters must not break an older reader."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in payload.items() if k in known})
 
     def total_ops(self) -> int:
         """A scalar summary: every counted event, each weighted 1."""

@@ -11,9 +11,19 @@ Quickstart::
     tr.to_metrics()                 # flat per-phase / per-counter summary
     print(tr.report())              # plan decisions next to measured spans
 
+Accumulator micro-telemetry (probe-chain lengths, heap inspection counts,
+touched-cell ratios) is collected separately by :mod:`repro.observe.probes`::
+
+    from repro.observe import probing
+
+    with probing() as pr:
+        res = triangle_count_detail(g, algo="hash")
+    pr.export()                     # histograms: buckets + count/total/max
+
 With no tracer installed every instrumented call site costs one attribute
 check — see :mod:`repro.observe.tracer` for the contract and
-``docs/observability.md`` for the span model and exporters.
+``docs/observability.md`` for the span model, probe histograms and
+exporters.
 """
 
 from .exporters import (
@@ -23,7 +33,16 @@ from .exporters import (
     write_chrome_trace,
     write_metrics,
 )
-from .report import format_span_tree, report
+from .probes import (
+    BUCKET_LABELS,
+    NBUCKETS,
+    Histogram,
+    ProbeRegistry,
+    bucket_index,
+    probing,
+    set_probes,
+)
+from .report import format_probes, format_span_tree, report
 from .tracer import (
     NULL_SPAN,
     Span,
@@ -53,4 +72,12 @@ __all__ = [
     "write_metrics",
     "report",
     "format_span_tree",
+    "format_probes",
+    "Histogram",
+    "ProbeRegistry",
+    "probing",
+    "set_probes",
+    "bucket_index",
+    "NBUCKETS",
+    "BUCKET_LABELS",
 ]

@@ -12,7 +12,9 @@ Two machine-readable views of one :class:`~repro.observe.Tracer`:
   name and by phase (symbolic/numeric — the paper's Section 4.4 split),
   operation-counter totals summed over *leaf* instrumentation (kernel and
   symbolic-sweep spans, which partition the work without double counting),
-  and a bytes-moved estimate from the machine model's word accounting.
+  a bytes-moved estimate from the machine model's word accounting, and —
+  when micro-telemetry probes (:mod:`repro.observe.probes`) were enabled —
+  the accumulator probe histograms under ``"probes"``.
 
 Timestamps are ``perf_counter`` seconds; Chrome wants microseconds and only
 relative placement matters, so the export rebases to the earliest span.
@@ -22,6 +24,8 @@ from __future__ import annotations
 
 import json
 from typing import Dict, List
+
+from . import probes as _probes
 
 __all__ = [
     "chrome_trace",
@@ -114,8 +118,18 @@ def estimated_bytes_moved(counter_totals: Dict[str, int], machine=None) -> int:
     return int(words) * word_bytes
 
 
-def metrics(tracer_or_spans, *, machine=None) -> dict:
-    """Flat metrics summary of a trace (see module docs)."""
+def metrics(tracer_or_spans, *, machine=None, probes=None) -> dict:
+    """Flat metrics summary of a trace (see module docs).
+
+    ``probes`` may be a :class:`~repro.observe.probes.ProbeRegistry`; when
+    omitted, the currently installed registry (if any) is used, so a
+    ``with probing(): ... metrics(tr)`` block does the right thing.  The
+    export lands under the ``"probes"`` key ({} when disabled), keyed by
+    histogram name with power-of-two bucket counts plus exact
+    count/total/max — see ``docs/observability.md`` for the schema.
+    """
+    if probes is None:
+        probes = _probes.current()
     spans = _spans(tracer_or_spans)
     by_name: Dict[str, dict] = {}
     by_phase: Dict[str, float] = {}
@@ -144,6 +158,7 @@ def metrics(tracer_or_spans, *, machine=None) -> dict:
         "counter_totals": totals,
         "bytes_moved_estimate": estimated_bytes_moved(totals, machine),
         "machine": getattr(machine, "name", None),
+        "probes": probes.export() if probes is not None else {},
     }
 
 
@@ -153,11 +168,11 @@ def write_chrome_trace(path, tracer_or_spans) -> None:
         json.dump(chrome_trace(tracer_or_spans), fh, indent=1, default=_jsonable)
 
 
-def write_metrics(path, tracer_or_spans, *, machine=None) -> None:
+def write_metrics(path, tracer_or_spans, *, machine=None, probes=None) -> None:
     """Write :func:`metrics` output as JSON."""
     with open(path, "w") as fh:
-        json.dump(metrics(tracer_or_spans, machine=machine), fh, indent=1,
-                  default=_jsonable)
+        json.dump(metrics(tracer_or_spans, machine=machine, probes=probes),
+                  fh, indent=1, default=_jsonable)
 
 
 def _jsonable(obj):

@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..machine import OpCounter
+from ..observe import probes as _probes
 from ..observe import tracer as _obs
 from ..semiring import PLUS_TIMES, Semiring
 from ..sparse import CSC, CSR
@@ -281,6 +282,7 @@ def _run_partitioned_process(
     if token is None:
         return None
     tracer = _obs.current()
+    probes = _probes.current()
 
     with _shm.SegmentGroup() as group:
         a_spec = group.publish_csr(a)
@@ -311,9 +313,12 @@ def _run_partitioned_process(
                     impl=impl,
                     semiring=token,
                     trace=tracer is not None,
+                    probe=probes is not None,
                 )
             )
-        triples, counters, span_batches = _pool.run_tasks(len(parts), tasks)
+        triples, counters, span_batches, probe_batches = _pool.run_tasks(
+            len(parts), tasks
+        )
 
     if tracer is not None:
         # worker-side spans (partition + nested kernel spans) land on the
@@ -322,6 +327,11 @@ def _run_partitioned_process(
         for batch in span_batches:
             if batch:
                 tracer.ingest(batch)
+    if probes is not None:
+        # histogram merges commute, so worker exports fold straight in
+        for payload in probe_batches:
+            if payload:
+                probes.ingest(payload)
     return _merge_triples(
         triples, (a.nrows, b.ncols), counters=counters, counter=counter
     )

@@ -173,6 +173,8 @@ class PartitionTask:
     semiring: tuple
     #: record worker-side spans and ship them back with the result
     trace: bool = False
+    #: record worker-side probe histograms and ship them back likewise
+    probe: bool = False
 
 
 def _run_task(task: PartitionTask):
@@ -194,11 +196,18 @@ def _run_task(task: PartitionTask):
 
     tracer = None
     prev = None
+    probes = None
+    prev_probes = None
     if task.trace:
         from ..observe.tracer import Tracer, set_tracer
 
         tracer = Tracer()
         prev = set_tracer(tracer)
+    if task.probe:
+        from ..observe.probes import ProbeRegistry, set_probes
+
+        probes = ProbeRegistry()
+        prev_probes = set_probes(probes)
     try:
         a = _shm.attach_csr(task.a)
         b = _shm.attach_csr(task.b)
@@ -256,17 +265,22 @@ def _run_task(task: PartitionTask):
                 r, cc, v = c.to_coo()
                 if offset:
                     r = r + offset
-        return _coo_payload(r, cc, v, counter, tracer)
+        return _coo_payload(r, cc, v, counter, tracer, probes)
     finally:
+        if probes is not None:
+            from ..observe.probes import set_probes
+
+            set_probes(prev_probes)
         if tracer is not None:
             from ..observe.tracer import set_tracer
 
             set_tracer(prev)
 
 
-def _coo_payload(rows, cols, vals, counter, tracer=None):
+def _coo_payload(rows, cols, vals, counter, tracer=None, probes=None):
     spans = tracer.export() if tracer is not None else []
-    return rows, cols, vals, counter, spans
+    probe_export = probes.export() if probes is not None else {}
+    return rows, cols, vals, counter, spans, probe_export
 
 
 def run_tasks(
@@ -275,6 +289,7 @@ def run_tasks(
     List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
     List[OpCounter],
     List[List[dict]],
+    List[dict],
 ]:
     """Run partition tasks on the persistent pool, in submission order.
 
@@ -284,22 +299,27 @@ def run_tasks(
     empty unless the tasks were submitted with ``trace=True``) — batches
     must stay separate because each task ran under a fresh worker tracer
     whose span ids start at 1, and ``Tracer.ingest`` remaps ids batch by
-    batch; flattening would cross-link spans from different tasks.  A
-    broken pool (a worker was OOM-killed or crashed) is discarded so the
-    next call starts clean, and the error propagates to the caller.
+    batch; flattening would cross-link spans from different tasks.  The
+    fourth holds each task's probe-histogram export (empty dict unless
+    submitted with ``probe=True``); histogram merges commute, so these may
+    be ingested in any order.  A broken pool (a worker was OOM-killed or
+    crashed) is discarded so the next call starts clean, and the error
+    propagates to the caller.
     """
     pool = get_pool(workers)
     futures = [pool.submit(_run_task, t) for t in tasks]
     triples: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     counters: List[OpCounter] = []
     span_batches: List[List[dict]] = []
+    probe_batches: List[dict] = []
     try:
         for fut in futures:
-            rows, cols, vals, counter, spans = fut.result()
+            rows, cols, vals, counter, spans, probe_export = fut.result()
             triples.append((rows, cols, vals))
             counters.append(counter)
             span_batches.append(spans)
+            probe_batches.append(probe_export)
     except BrokenProcessPool:
         shutdown_pool()
         raise
-    return triples, counters, span_batches
+    return triples, counters, span_batches, probe_batches

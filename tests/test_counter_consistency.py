@@ -92,3 +92,43 @@ class TestHashProbeAccounting:
             ops = c.accum_allowed + c.accum_inserts + c.accum_removes
             assert c.hash_probes >= 1
             assert c.hash_probes <= 2.5 * max(1, ops), impl
+
+
+class TestSchemaGrowth:
+    """Counters cross process and file boundaries (worker pickles, the
+    benchmark history's stored dicts); an older payload must stay readable
+    after the field list grows."""
+
+    class _OldCounter:
+        """Stand-in for a counter pickled before new fields existed."""
+
+        def __init__(self, **kw):
+            for k, v in kw.items():
+                setattr(self, k, v)
+
+    def test_merge_tolerates_missing_fields(self):
+        c = OpCounter(flops=3, hash_probes=2)
+        c.merge(self._OldCounter(flops=5))
+        assert c.flops == 8
+        assert c.hash_probes == 2  # absent on the old producer: merged as 0
+
+    def test_diff_tolerates_short_snapshot(self):
+        c = OpCounter(flops=7, output_nnz=4)
+        short = (3,)  # snapshot taken when only `flops` existed
+        d = c.diff(short)
+        assert d["flops"] == 4
+        assert d["output_nnz"] == 4  # missing trailing fields read as 0
+
+    def test_diff_none_means_since_zero(self):
+        c = OpCounter(flops=2)
+        assert c.diff(None) == {"flops": 2}
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = {"flops": 9, "a_future_counter": 123}
+        c = OpCounter.from_dict(payload)
+        assert c.flops == 9
+        assert not hasattr(c, "a_future_counter")
+
+    def test_from_dict_roundtrip(self):
+        c = OpCounter(flops=1, mask_scans=5, output_nnz=2)
+        assert OpCounter.from_dict(c.as_dict()).as_dict() == c.as_dict()

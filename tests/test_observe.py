@@ -379,3 +379,46 @@ class TestSemiringFallback:
         assert np.array_equal(got.indptr, ref.indptr)
         assert np.array_equal(got.indices, ref.indices)
         assert np.allclose(got.data, ref.data)
+
+
+# ----------------------------------------------------------------------
+# exporter edge cases: empty traces and zero-span batches
+# ----------------------------------------------------------------------
+
+
+class TestExportEdgeCases:
+    def test_metrics_on_empty_trace(self):
+        with tracing() as tr:
+            pass
+        m = metrics(tr, machine=HASWELL)
+        assert m["span_count"] == 0
+        assert m["counter_totals"] == {}
+        assert m["bytes_moved_estimate"] == 0
+        assert m["seconds_by_phase"] == {}
+        assert m["probes"] == {}
+
+    def test_chrome_trace_on_empty_trace(self, tmp_path):
+        with tracing() as tr:
+            pass
+        path = tmp_path / "empty.trace.json"
+        write_chrome_trace(path, tr)
+        doc = json.loads(path.read_text())
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_report_on_empty_trace(self):
+        with tracing() as tr:
+            pass
+        text = report(tr)
+        assert isinstance(text, str)
+
+    def test_ingest_zero_span_batch(self):
+        with tracing() as tr:
+            with tr.span("only.local"):
+                pass
+            tr.ingest([])
+        assert [sp.name for sp in tr.spans] == ["only.local"]
+        assert metrics(tr, machine=HASWELL)["span_count"] == 1
+
+    def test_metrics_accepts_empty_span_list(self):
+        m = metrics([], machine=HASWELL)
+        assert m["span_count"] == 0 and m["counter_totals"] == {}

@@ -1,0 +1,356 @@
+"""Tests for accumulator micro-telemetry (:mod:`repro.observe.probes`).
+
+The module docstring's three contracts, in order:
+
+1. Probes off are (nearly) free — the R-MAT triangle-count kernel with
+   probes *enabled* stays within 3% of the disabled run (the ISSUE's
+   acceptance bound), and the disabled path installs nothing.
+2. Histograms are exact in aggregate — ``hash.probe_chain.total`` equals
+   ``OpCounter.hash_probes`` bit-for-bit on serial, thread and process
+   backends, for both the vectorized and the scalar reference hash paths.
+3. Histograms cross threads and processes — worker exports ingest into the
+   coordinator registry and merges commute.
+
+Cross-process tests carry the ``backend`` marker; the module carries
+``trace`` (probes are part of the observability layer).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.masked_spgemm import masked_spgemm
+from repro.graphs import erdos_renyi, rmat
+from repro.machine import OpCounter
+from repro.observe import metrics, report, tracing
+from repro.observe.probes import (
+    BUCKET_LABELS,
+    NBUCKETS,
+    Histogram,
+    ProbeRegistry,
+    bucket_index,
+    current,
+    probing,
+)
+from repro.parallel import parallel_masked_spgemm, shutdown_pool
+from repro.parallel.pool import process_backend_available
+from repro.semiring import PLUS_PAIR, PLUS_TIMES
+
+pytestmark = pytest.mark.trace
+
+
+def _triple(seed=1, n=60):
+    a = erdos_renyi(n, n, 5, seed=seed, values="uniform")
+    b = erdos_renyi(n, n, 5, seed=seed + 1, values="uniform")
+    m = erdos_renyi(n, n, 8, seed=seed + 2)
+    return a, b, m
+
+
+def _tc_operand(scale=9, seed=7):
+    return rmat(scale, seed=seed).pattern().tril(-1)
+
+
+# ----------------------------------------------------------------------
+# histogram mechanics
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_bucket_index_power_of_two_boundaries(self):
+        assert bucket_index(0) == 0
+        assert bucket_index(1) == 1
+        assert bucket_index(2) == 2
+        assert bucket_index(3) == 2
+        assert bucket_index(4) == 3
+        assert bucket_index(7) == 3
+        assert bucket_index(8) == 4
+        # the last bucket is open-ended
+        assert bucket_index(10**9) == NBUCKETS - 1
+
+    def test_labels_cover_every_bucket(self):
+        assert len(BUCKET_LABELS) == NBUCKETS
+        assert BUCKET_LABELS[0] == "0"
+        assert BUCKET_LABELS[1] == "1"
+        assert BUCKET_LABELS[-1].startswith(">=")
+
+    def test_record_tracks_exact_aggregates(self):
+        h = Histogram()
+        for v in (0, 1, 1, 5, 300):
+            h.record(v)
+        assert h.count == 5
+        assert h.total == 307
+        assert h.vmax == 300
+        assert h.mean == pytest.approx(307 / 5)
+        assert sum(h.counts) == h.count
+
+    def test_record_with_repeats(self):
+        h = Histogram()
+        h.record(3, repeats=4)
+        assert (h.count, h.total, h.vmax) == (4, 12, 3)
+        h.record(3, repeats=0)  # no-op
+        assert h.count == 4
+
+    def test_record_array_matches_scalar_recording(self):
+        values = np.array([0, 1, 2, 3, 4, 9, 17, 40000, 7])
+        ha, hb = Histogram(), Histogram()
+        ha.record_array(values)
+        for v in values:
+            hb.record(int(v))
+        assert ha.counts == hb.counts
+        assert (ha.count, ha.total, ha.vmax) == (hb.count, hb.total, hb.vmax)
+
+    def test_record_array_empty_is_noop(self):
+        h = Histogram()
+        h.record_array(np.empty(0, np.int64))
+        assert h.count == 0
+
+    def test_merge_dict_roundtrip_and_short_schema(self):
+        h = Histogram()
+        h.record_array(np.array([1, 2, 3, 100]))
+        other = Histogram()
+        other.merge_dict(h.as_dict())
+        assert other.as_dict() == h.as_dict()
+        # an older payload with fewer buckets still merges
+        short = {"buckets": [2, 1], "count": 3, "total": 2, "max": 1}
+        other.merge_dict(short)
+        assert other.count == h.count + 3
+        assert other.total == h.total + 2
+
+
+class TestProbeRegistry:
+    def test_disabled_by_default(self):
+        assert current() is None
+
+    def test_probing_installs_and_restores(self):
+        with probing() as pr:
+            assert current() is pr
+            pr.hist("x").record(2)
+        assert current() is None
+
+    def test_export_ingest_commutes(self):
+        a, b = ProbeRegistry(), ProbeRegistry()
+        a.hist("k").record_array(np.array([1, 2, 3]))
+        b.hist("k").record_array(np.array([10, 20]))
+        b.hist("only_b").record(1)
+        merged_ab, merged_ba = ProbeRegistry(), ProbeRegistry()
+        merged_ab.ingest(a.export())
+        merged_ab.ingest(b.export())
+        merged_ba.ingest(b.export())
+        merged_ba.ingest(a.export())
+        assert merged_ab.export() == merged_ba.export()
+        assert merged_ab.hist("k").total == 36
+
+    def test_snapshot_diff_reports_only_changes(self):
+        pr = ProbeRegistry()
+        pr.hist("a").record(5)
+        snap = pr.snapshot()
+        pr.hist("a").record(7)
+        pr.hist("b").record(1)
+        d = pr.diff(snap)
+        assert d["a"] == {"count": 1, "total": 7, "max": 7}
+        assert d["b"]["count"] == 1
+        pr2_diff = pr.diff(pr.snapshot())
+        assert pr2_diff == {}
+
+
+# ----------------------------------------------------------------------
+# bit-for-bit: probe totals == OpCounter totals
+# ----------------------------------------------------------------------
+class TestBitForBitInvariant:
+    def _run(self, impl, **kwargs):
+        a, b, m = _triple()
+        with probing() as pr:
+            counter = OpCounter()
+            masked_spgemm(a, b, m, algo="hash", impl=impl,
+                          semiring=PLUS_TIMES, counter=counter, **kwargs)
+            export = pr.export()
+        return counter, export
+
+    @pytest.mark.parametrize("impl", ["fast", "reference"])
+    def test_hash_probe_chain_total_equals_counter(self, impl):
+        counter, export = self._run(impl)
+        assert counter.hash_probes > 0
+        assert export["hash.probe_chain"]["total"] == counter.hash_probes
+
+    def test_complement_hash_also_exact(self):
+        a, b, m = _triple(seed=4)
+        with probing() as pr:
+            counter = OpCounter()
+            masked_spgemm(a, b, m, algo="hash", impl="reference",
+                          complement=True, semiring=PLUS_TIMES,
+                          counter=counter)
+            export = pr.export()
+        assert export["hash.probe_chain"]["total"] == counter.hash_probes
+
+    @pytest.mark.backend
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_exact_across_backends(self, backend):
+        if backend == "process" and not process_backend_available():
+            pytest.skip("no shared-memory process backend on this platform")
+        a, b, m = _triple(seed=9, n=100)
+        with probing() as pr:
+            counter = OpCounter()
+            parallel_masked_spgemm(a, b, m, algo="hash", threads=3,
+                                   backend=backend, semiring=PLUS_PAIR,
+                                   counter=counter)
+            export = pr.export()
+        assert counter.hash_probes > 0
+        assert export["hash.probe_chain"]["total"] == counter.hash_probes
+        if backend == "process":
+            shutdown_pool()
+
+    def test_backends_agree_with_serial_export(self):
+        a, b, m = _triple(seed=9, n=100)
+        exports = {}
+        for backend in ("serial", "thread"):
+            with probing() as pr:
+                parallel_masked_spgemm(a, b, m, algo="hash", threads=3,
+                                       backend=backend, semiring=PLUS_PAIR)
+                exports[backend] = pr.export()
+        s = exports["serial"]["hash.probe_chain"]
+        t = exports["thread"]["hash.probe_chain"]
+        assert (s["count"], s["total"]) == (t["count"], t["total"])
+
+
+# ----------------------------------------------------------------------
+# kernel coverage: every instrumented family reports
+# ----------------------------------------------------------------------
+class TestKernelCoverage:
+    def test_msa_fast_reports_touched_and_mask_stats(self):
+        a, b, m = _triple()
+        with probing() as pr:
+            masked_spgemm(a, b, m, algo="msa", semiring=PLUS_TIMES)
+            export = pr.export()
+        assert "msa.touched_per_mask_pct" in export
+        assert "msa.reset_cells" in export
+        hits = export["mask.row_hits"]
+        misses = export["mask.row_misses"]
+        # per-row hit + miss counts partition the mask nonzeros
+        assert hits["total"] + misses["total"] == m.nnz
+
+    def test_mca_fast_reports_touched(self):
+        a, b, m = _triple()
+        with probing() as pr:
+            masked_spgemm(a, b, m, algo="mca", semiring=PLUS_TIMES)
+            export = pr.export()
+        assert "mca.touched_per_mask_pct" in export
+        assert export["mask.row_hits"]["total"] + \
+            export["mask.row_misses"]["total"] == m.nnz
+
+    def test_heap_reference_reports_inspections(self):
+        a, b, m = _triple()
+        with probing() as pr:
+            counter = OpCounter()
+            masked_spgemm(a, b, m, algo="heap", semiring=PLUS_TIMES,
+                          counter=counter)
+            export = pr.export()
+        insp = export["heap.inspect_advances"]
+        assert insp["count"] > 0
+        # every advance recorded is a mask scan the counter charged (the
+        # main merge loop charges additional scans the histogram never sees)
+        assert insp["total"] <= counter.mask_scans
+
+    def test_hash_load_factor_bounded(self):
+        a, b, m = _triple()
+        with probing() as pr:
+            masked_spgemm(a, b, m, algo="hash", semiring=PLUS_TIMES)
+            export = pr.export()
+        lf = export["hash.load_factor_pct"]
+        # table sizing targets load factor 0.25; realized load can never
+        # exceed 100%
+        assert 0 <= lf["max"] <= 100
+
+    def test_no_probes_collected_when_disabled(self):
+        a, b, m = _triple()
+        assert current() is None
+        masked_spgemm(a, b, m, algo="hash", semiring=PLUS_TIMES)
+        assert current() is None
+
+
+# ----------------------------------------------------------------------
+# surfacing: spans, metrics, report
+# ----------------------------------------------------------------------
+class TestSurfacing:
+    def test_kernel_span_carries_probe_deltas(self):
+        a, b, m = _triple()
+        with tracing() as tr, probing():
+            masked_spgemm(a, b, m, algo="hash", semiring=PLUS_TIMES)
+        kernel_spans = [sp for sp in tr.spans if sp.name == "kernel.hash"]
+        assert kernel_spans
+        delta = kernel_spans[0].attrs.get("probes")
+        assert delta and "hash.probe_chain" in delta
+        assert delta["hash.probe_chain"]["count"] > 0
+
+    def test_metrics_embeds_probe_export(self):
+        a, b, m = _triple()
+        with tracing() as tr, probing() as pr:
+            masked_spgemm(a, b, m, algo="hash", semiring=PLUS_TIMES)
+            mx = metrics(tr, probes=pr)
+        assert mx["probes"]["hash.probe_chain"]["count"] > 0
+        # default argument picks up the installed registry
+        with tracing() as tr2, probing():
+            masked_spgemm(a, b, m, algo="hash", semiring=PLUS_TIMES)
+            mx2 = metrics(tr2)
+        assert mx2["probes"]["hash.probe_chain"]["count"] > 0
+
+    def test_metrics_probes_empty_when_disabled(self):
+        a, b, m = _triple()
+        with tracing() as tr:
+            masked_spgemm(a, b, m, algo="hash", semiring=PLUS_TIMES)
+        assert metrics(tr)["probes"] == {}
+
+    def test_report_renders_micro_telemetry_section(self):
+        a, b, m = _triple()
+        with tracing() as tr, probing() as pr:
+            masked_spgemm(a, b, m, algo="hash", semiring=PLUS_TIMES)
+            text = report(tr, probes=pr)
+        assert "accumulator micro-telemetry" in text
+        assert "hash.probe_chain" in text
+
+    def test_report_omits_section_without_probes(self):
+        a, b, m = _triple()
+        with tracing() as tr:
+            masked_spgemm(a, b, m, algo="hash", semiring=PLUS_TIMES)
+        assert "micro-telemetry" not in report(tr)
+
+
+# ----------------------------------------------------------------------
+# overhead: probes enabled must stay under 3% on the R-MAT TC case
+# ----------------------------------------------------------------------
+class TestProbeOverhead:
+    def test_enabled_overhead_under_three_percent(self):
+        """The ISSUE's acceptance bound: running the R-MAT triangle-count
+        kernel with probe histograms *enabled* costs <3% wall-clock over
+        the disabled configuration.
+
+        Min-of-repeats both ways plus a small absolute floor — the same
+        methodology as the tracer's disabled-path test — so scheduler
+        jitter on a loaded CI machine cannot fail a passing configuration.
+        """
+        low = _tc_operand()
+
+        def run():
+            masked_spgemm(low, low, low, algo="hash", semiring=PLUS_PAIR)
+
+        def timed(calls=5):
+            t0 = time.perf_counter()
+            for _ in range(calls):
+                run()
+            return time.perf_counter() - t0
+
+        run()  # warm allocators and caches
+        assert current() is None
+        t_disabled = float("inf")
+        t_enabled = float("inf")
+        # interleave the configurations so a load spike on a shared CI
+        # machine penalises both paths equally; min-of-trials each way
+        for _ in range(7):
+            t_disabled = min(t_disabled, timed())
+            with probing():
+                run()  # warm the registry (histogram creation)
+                t_enabled = min(t_enabled, timed())
+        assert t_enabled <= t_disabled * 1.03 + 500e-6, (
+            f"probe overhead too high: {t_enabled:.6f}s enabled vs "
+            f"{t_disabled:.6f}s disabled"
+        )
