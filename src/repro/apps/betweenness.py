@@ -36,6 +36,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..engine import resolve_session
 from ..machine import OpCounter
 from ..observe import timed_span
 from ..semiring import PLUS_TIMES
@@ -88,12 +89,22 @@ def betweenness_centrality(
     counter: Optional[OpCounter] = None,
     seed: int = 0,
     call_log: Optional[list] = None,
+    backend: Optional[str] = None,
+    session=None,
 ) -> BetweennessResult:
     """Betweenness centrality restricted to a batch of source vertices.
 
     With ``sources=range(n)`` (and an unweighted graph) the scores match
     Brandes / networkx exactly (unnormalised, directed-sum convention:
     for undirected graphs networkx halves the scores).
+
+    ``backend`` (``algo="auto"`` only) forces the execution backend of the
+    per-level masked SpGEMMs.  ``session`` controls cross-call caching —
+    an :class:`~repro.engine.ExecutionSession`, ``None`` (default: open a
+    loop-local one for ``algo="auto"``), or ``False`` to disable.  BC is
+    the paper's best case for reuse: ``A`` and ``A^T`` are constant across
+    every level, so their shm segments publish once and only the small
+    frontier/numsp operands move per call.
     """
     if not supports_complement(algo):
         raise ValueError(
@@ -112,9 +123,35 @@ def betweenness_centrality(
     sources = np.asarray(list(sources), dtype=np.int64)
     s = sources.shape[0]
     counter = counter if counter is not None else OpCounter()
+    session, owned = resolve_session(session, auto=(algo == "auto"))
     # stage spans: per-step forward (complemented mask) / backward (plain
     # mask) breakdowns appear in trace exports; timed_span also feeds the
     # result's *_seconds fields when tracing is off
+    try:
+        return _betweenness_body(
+            a, sources, s, algo=algo, impl=impl, phases=phases,
+            counter=counter, call_log=call_log, backend=backend,
+            session=session,
+        )
+    finally:
+        if owned and session is not None:
+            session.close()
+
+
+def _betweenness_body(
+    a: CSR,
+    sources: np.ndarray,
+    s: int,
+    *,
+    algo: str,
+    impl: str,
+    phases: int,
+    counter: OpCounter,
+    call_log: Optional[list],
+    backend: Optional[str],
+    session,
+) -> BetweennessResult:
+    n = a.nrows
     with timed_span("bc.run", {"batch": s, "algo": algo}) as sp_total:
         a_t = a.transpose()
 
@@ -141,6 +178,8 @@ def betweenness_centrality(
                 frontier = masked_spgemm(
                     frontier, a, numsp, algo=algo, impl=impl, phases=phases,
                     complement=True, semiring=PLUS_TIMES, counter=counter,
+                    backend=backend if algo == "auto" else None,
+                    session=session,
                 )
             spgemm_time += sp_f.seconds
             forward_time += sp_f.seconds
@@ -175,6 +214,8 @@ def betweenness_centrality(
                 t_d = masked_spgemm(
                     w, a_t, frontiers[d - 1], algo=algo, impl=impl,
                     phases=phases, semiring=PLUS_TIMES, counter=counter,
+                    backend=backend if algo == "auto" else None,
+                    session=session,
                 )
             spgemm_time += sp_b.seconds
             backward_time += sp_b.seconds

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..engine import resolve_session
 from ..machine import OpCounter
 from ..semiring import PLUS_PAIR
 from ..sparse import CSR
@@ -42,9 +43,13 @@ def multi_source_bfs(
     algo: str = "auto",
     impl: str = "auto",
     counter: Optional[OpCounter] = None,
+    session=None,
 ) -> BFSResult:
     """Level-synchronous BFS from every source at once (one masked SpGEMM
-    per level; the complemented mask is the visited set)."""
+    per level; the complemented mask is the visited set).  ``A`` is
+    constant across levels, so a ``session`` (an
+    :class:`~repro.engine.ExecutionSession`; default: loop-local for
+    ``algo="auto"``, ``False`` disables) publishes it once."""
     n = a.nrows
     if a.ncols != n:
         raise ValueError("adjacency must be square")
@@ -55,23 +60,28 @@ def multi_source_bfs(
 
     frontier = CSR.from_coo((s, n), np.arange(s, dtype=np.int64), sources, np.ones(s))
     visited = frontier.copy()
+    session, owned = resolve_session(session, auto=(algo == "auto"))
     d = 0
-    while frontier.nnz:
-        d += 1
-        frontier = masked_spgemm(
-            frontier, a, visited, algo=algo, impl=impl, complement=True,
-            semiring=PLUS_PAIR, counter=counter,
-        )
-        if frontier.nnz == 0:
-            d -= 1
-            break
-        fr, fc, _ = frontier.to_coo()
-        levels[fr, fc] = d
-        vr, vc, vv = visited.to_coo()
-        visited = CSR.from_coo(
-            (s, n),
-            np.concatenate([vr, fr]),
-            np.concatenate([vc, fc]),
-            np.concatenate([vv, np.ones(fr.shape[0])]),
-        )
+    try:
+        while frontier.nnz:
+            d += 1
+            frontier = masked_spgemm(
+                frontier, a, visited, algo=algo, impl=impl, complement=True,
+                semiring=PLUS_PAIR, counter=counter, session=session,
+            )
+            if frontier.nnz == 0:
+                d -= 1
+                break
+            fr, fc, _ = frontier.to_coo()
+            levels[fr, fc] = d
+            vr, vc, vv = visited.to_coo()
+            visited = CSR.from_coo(
+                (s, n),
+                np.concatenate([vr, fr]),
+                np.concatenate([vc, fc]),
+                np.concatenate([vv, np.ones(fr.shape[0])]),
+            )
+    finally:
+        if owned and session is not None:
+            session.close()
     return BFSResult(levels=levels, sources=sources, depth=d)

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..engine import resolve_session
 from ..machine import OpCounter, total_flops
 from ..observe import timed_span
 from ..semiring import PLUS_PAIR
@@ -55,6 +56,7 @@ def ktruss(
     counter: Optional[OpCounter] = None,
     call_log: Optional[list] = None,
     backend: Optional[str] = None,
+    session=None,
 ) -> KTrussResult:
     """Compute the ``k``-truss of the undirected graph ``a``.
 
@@ -68,53 +70,67 @@ def ktruss(
     recorded run.  ``backend`` (``algo="auto"`` only) forces the execution
     backend of each iteration's masked SpGEMM — iterative apps like this
     are exactly where the persistent process pool amortises its spawn cost.
+
+    ``session`` controls cross-call caching: pass an
+    :class:`~repro.engine.ExecutionSession` to share one across apps,
+    ``None`` (default, ``algo="auto"`` only) to open a loop-local session,
+    or ``False`` to disable caching entirely.  k-truss rebuilds the
+    adjacency each round, so only the intra-call dedup (A = B = M publish
+    once) and the replan path benefit — the structure changes every
+    iteration by construction.
     """
     if k < 3:
         raise ValueError("k must be >= 3")
     counter = counter if counter is not None else OpCounter()
+    session, owned = resolve_session(session, auto=(algo == "auto"))
     # per-iteration spans (edges shrink as pruning proceeds — the paper's
     # sparsifying-mask observation) with the masked SpGEMM nested inside;
     # timed_span keeps the result's second fields populated untraced
-    with timed_span("ktruss.run", {"k": k, "algo": algo}) as sp_total:
-        cur = a.pattern().triu(1)
-        # rebuild full symmetric pattern without diagonal
-        cur = _sym(cur)
-        support_needed = k - 2
-        spgemm_time = 0.0
-        flops = 0
-        edges = []
-        it = 0
-        for it in range(1, max_iters + 1):
-            edges.append(cur.nnz)
-            flops += total_flops(cur, cur)
-            if call_log is not None:
-                call_log.append((cur, cur, cur, False))
-            with timed_span(
-                "ktruss.iter", {"iteration": it, "edges": cur.nnz}
-            ):
+    try:
+        with timed_span("ktruss.run", {"k": k, "algo": algo}) as sp_total:
+            cur = a.pattern().triu(1)
+            # rebuild full symmetric pattern without diagonal
+            cur = _sym(cur)
+            support_needed = k - 2
+            spgemm_time = 0.0
+            flops = 0
+            edges = []
+            it = 0
+            for it in range(1, max_iters + 1):
+                edges.append(cur.nnz)
+                flops += total_flops(cur, cur)
+                if call_log is not None:
+                    call_log.append((cur, cur, cur, False))
                 with timed_span(
-                    "ktruss.spgemm", {"algo": algo, "phases": phases},
-                    counter=counter,
-                ) as sp_mm:
-                    s = masked_spgemm(
-                        cur, cur, cur, algo=algo, impl=impl, phases=phases,
-                        semiring=PLUS_PAIR, counter=counter,
-                        backend=backend if algo == "auto" else None,
+                    "ktruss.iter", {"iteration": it, "edges": cur.nnz}
+                ):
+                    with timed_span(
+                        "ktruss.spgemm", {"algo": algo, "phases": phases},
+                        counter=counter,
+                    ) as sp_mm:
+                        s = masked_spgemm(
+                            cur, cur, cur, algo=algo, impl=impl, phases=phases,
+                            semiring=PLUS_PAIR, counter=counter,
+                            backend=backend if algo == "auto" else None,
+                            session=session,
+                        )
+                    spgemm_time += sp_mm.seconds
+                    # keep edges of cur whose support >= k-2; edges with zero
+                    # support are absent from s entirely
+                    keep_rows, keep_cols, keep_vals = s.to_coo()
+                    strong = keep_vals >= support_needed
+                    nxt = CSR.from_coo(
+                        cur.shape, keep_rows[strong], keep_cols[strong],
+                        np.ones(int(strong.sum())),
                     )
-                spgemm_time += sp_mm.seconds
-                # keep edges of cur whose support >= k-2; edges with zero
-                # support are absent from s entirely
-                keep_rows, keep_cols, keep_vals = s.to_coo()
-                strong = keep_vals >= support_needed
-                nxt = CSR.from_coo(
-                    cur.shape, keep_rows[strong], keep_cols[strong],
-                    np.ones(int(strong.sum())),
-                )
-            if nxt.nnz == cur.nnz:
+                if nxt.nnz == cur.nnz:
+                    cur = nxt
+                    break
                 cur = nxt
-                break
-            cur = nxt
-    total = sp_total.seconds
+        total = sp_total.seconds
+    finally:
+        if owned and session is not None:
+            session.close()
     return KTrussResult(
         truss=cur,
         iterations=it,

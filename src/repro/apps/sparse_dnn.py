@@ -29,6 +29,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..engine import resolve_session
 from ..machine import OpCounter
 from ..semiring import PLUS_TIMES
 from ..sparse import CSR
@@ -153,6 +154,7 @@ def sparse_dnn_forward_topk(
     top_k: int = 32,
     algo: str = "auto",
     counter: Optional[OpCounter] = None,
+    session=None,
 ) -> DNNResult:
     """Budgeted inference: after each layer keep only the top-k activations
     per sample, and compute the next layer as a *masked* product restricted
@@ -163,17 +165,27 @@ def sparse_dnn_forward_topk(
     product on the already-sparsified ``Y``; the masked numeric product then
     prices only those positions.  With ``top_k >= max row nnz`` this equals
     the exact forward pass.
+
+    The weight layers are constant across batches, so a long-lived
+    ``session`` (an :class:`~repro.engine.ExecutionSession`; default:
+    loop-local for ``algo="auto"``, ``False`` disables) keeps their
+    fingerprints and published segments warm across calls.
     """
     counter = counter if counter is not None else OpCounter()
+    session, owned = resolve_session(session, auto=(algo == "auto"))
     y = x
     nnzs = []
-    for w, b in zip(net.weights, net.biases):
-        y = _topk_rows(y, top_k)
-        # reachable output pattern of the sparsified activations
-        mask = spgemm_saxpy_fast(y.pattern(), w.pattern()).pattern()
-        y = masked_spgemm(y, w, mask, algo=algo, semiring=PLUS_TIMES,
-                          counter=counter)
-        y = _relu_bias(y, b)
-        nnzs.append(y.nnz)
+    try:
+        for w, b in zip(net.weights, net.biases):
+            y = _topk_rows(y, top_k)
+            # reachable output pattern of the sparsified activations
+            mask = spgemm_saxpy_fast(y.pattern(), w.pattern()).pattern()
+            y = masked_spgemm(y, w, mask, algo=algo, semiring=PLUS_TIMES,
+                              counter=counter, session=session)
+            y = _relu_bias(y, b)
+            nnzs.append(y.nnz)
+    finally:
+        if owned and session is not None:
+            session.close()
     return DNNResult(activations=y, nnz_per_layer=nnzs,
                      flops=counter.flops, counter=counter)

@@ -41,6 +41,7 @@ import os
 import platform
 import subprocess
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -62,6 +63,7 @@ __all__ = [
     "pinned_schemes",
     "record_key",
     "collect_record",
+    "session_app_records",
     "collect_run",
     "load_history",
     "append_run",
@@ -194,14 +196,88 @@ def collect_record(
     }
 
 
+def session_app_records(
+    *,
+    repeats: int = 3,
+    rmat_scale: int = 8,
+    seed: int = 3,
+    bc_batch: int = 32,
+    k: int = 5,
+) -> List[dict]:
+    """Timing records for the session-enabled iterative apps.
+
+    Unlike the pinned scheme records (deliberately sessionless — they are
+    the cold-start baseline), these run k-truss and betweenness centrality
+    end-to-end with ONE :class:`~repro.engine.ExecutionSession` shared
+    across all repeats, the intended usage pattern.  Each record carries
+    the session's cache telemetry under ``"session"`` so the regression
+    gate (:mod:`repro.bench.regress`) can tell "the cache stopped hitting"
+    apart from "the kernels got slower".
+    """
+    from ..apps import betweenness_centrality, ktruss
+    from ..engine import ExecutionSession
+
+    g = rmat(rmat_scale, seed=seed + rmat_scale)
+    apps = (
+        ("ktruss-session",
+         lambda s, c: ktruss(g, k, algo="auto", counter=c, session=s)),
+        ("bc-session",
+         lambda s, c: betweenness_centrality(
+             g, batch_size=bc_batch, algo="auto", seed=1, counter=c,
+             session=s)),
+    )
+    records: List[dict] = []
+    for name, run_app in apps:
+        samples: List[float] = []
+        with ExecutionSession() as session:
+            for _ in range(max(1, repeats)):
+                # fresh counter per repeat: work counters are identical on
+                # every pass (the session guarantees it), so keeping the
+                # last makes the certificate independent of ``repeats``
+                counter = OpCounter()
+                t0 = time.perf_counter()
+                run_app(session, counter)
+                samples.append(time.perf_counter() - t0)
+            stats = session.stats()
+        arr = np.asarray(samples, dtype=float)
+        records.append({
+            "scheme": name,
+            "case": f"rmat-{rmat_scale}",
+            "backend": "auto",
+            "threads": 0,
+            "repeats": len(samples),
+            "median_s": float(np.median(arr)),
+            "mad_s": float(np.median(np.abs(arr - np.median(arr)))),
+            "samples_s": [float(s) for s in samples],
+            "counters": {
+                f: getattr(counter, f)
+                for f in counter.__dataclass_fields__
+                # session counters vary with cache warmth, not work; they
+                # live under "session" where the gate reads them as cache
+                # telemetry instead of a work-certificate change
+                if f not in ("plan_cache_hits", "segments_reused",
+                             "bytes_republished")
+            },
+            "session": stats,
+        })
+    return records
+
+
 def collect_run(
     *,
     repeats: int = 3,
     cases: Optional[Dict[str, List[Call]]] = None,
     schemes: Optional[Sequence[Scheme]] = None,
     cwd: Optional[str] = None,
+    include_session_apps: bool = True,
+    session_rmat_scale: int = 8,
 ) -> dict:
-    """One history run: environment fingerprint + a record per key."""
+    """One history run: environment fingerprint + a record per key.
+
+    ``include_session_apps`` appends the :func:`session_app_records`
+    (sessioned k-truss / BC, at R-MAT scale ``session_rmat_scale``) to
+    the pinned sessionless scheme records.
+    """
     cases = cases if cases is not None else pinned_cases()
     schemes = list(schemes) if schemes is not None else pinned_schemes()
     records = [
@@ -209,6 +285,9 @@ def collect_run(
         for s in schemes
         for name, calls in cases.items()
     ]
+    if include_session_apps:
+        records.extend(session_app_records(repeats=repeats,
+                                           rmat_scale=session_rmat_scale))
     return {
         "schema_version": SCHEMA_VERSION,
         "env": env_fingerprint(cwd),
@@ -297,13 +376,15 @@ def main(argv=None) -> int:
     parser.add_argument("--run-dir", default=".",
                         help="directory for the standalone BENCH_<sha>.json")
     parser.add_argument("--rmat-scale", type=int, default=8,
-                        help="R-MAT scale of the pinned TC case")
+                        help="R-MAT scale of the pinned TC case and the "
+                             "sessioned app records")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
     run = collect_run(repeats=args.repeats,
-                      cases=pinned_cases(rmat_scale=args.rmat_scale))
+                      cases=pinned_cases(rmat_scale=args.rmat_scale),
+                      session_rmat_scale=args.rmat_scale)
     artifact = os.path.join(args.run_dir, run_artifact_name(run))
     write_run(artifact, run)
     print(f"wrote {artifact} ({len(run['records'])} records)")

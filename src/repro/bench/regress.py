@@ -88,6 +88,9 @@ def compare_records(
         "ratio": head_median / base_median if base_median > 0 else float("inf"),
         "status": status,
         "counters_changed": base.get("counters") != head.get("counters"),
+        # session-enabled records carry cache telemetry; a shift there with
+        # unchanged counters means the caching regressed, not the kernels
+        "cache_changed": base.get("session") != head.get("session"),
     }
 
 
@@ -135,6 +138,19 @@ def compare_runs(
     }
 
 
+def _change_note(c: dict) -> str:
+    """Cause attribution suffix for a non-ok row: counters changed means
+    the algorithm did different work; cache counters changed (with stable
+    work counters) points at the session caches instead."""
+    if c["status"] == "ok":
+        return ""
+    if c["counters_changed"]:
+        return " (counters changed)"
+    if c.get("cache_changed"):
+        return " (cache counters changed)"
+    return ""
+
+
 def render_report(verdict: dict) -> str:
     """The human half of the verdict: one table row per compared key."""
     rows = []
@@ -146,8 +162,7 @@ def render_report(verdict: dict) -> str:
             f"{c['head_median_s'] * 1e3:.3f}",
             f"{c['ratio']:.2f}x",
             f"{c['band_s'] * 1e3:.3f}",
-            c["status"] + (" (counters changed)" if c["counters_changed"]
-                           and c["status"] != "ok" else ""),
+            c["status"] + _change_note(c),
         ])
     lines = [render_table(
         ["", "key", "base ms", "head ms", "ratio", "band ms", "status"],

@@ -100,7 +100,8 @@ def scheme_by_name(name: str) -> Scheme:
     return _BY_NAME[name]
 
 
-def _run_call(scheme: Scheme, call: Call, semiring: Semiring, counter=None) -> CSR:
+def _run_call(scheme: Scheme, call: Call, semiring: Semiring, counter=None,
+              session=None) -> CSR:
     a, b, m, compl = call
     if scheme.algo == "ssgb_dot":
         return ssgb_dot(a, b, m, complement=compl, semiring=semiring,
@@ -111,6 +112,7 @@ def _run_call(scheme: Scheme, call: Call, semiring: Semiring, counter=None) -> C
     return masked_spgemm(
         a, b, m, algo=scheme.algo, phases=scheme.phases,
         complement=compl, semiring=semiring, impl="auto", counter=counter,
+        session=session,
     )
 
 
@@ -120,10 +122,11 @@ def measured_seconds(
     *,
     semiring: Semiring = PLUS_TIMES,
     repeats: int = 1,
+    session=None,
 ) -> float:
     """Wall-clock seconds to execute the call sequence (min over repeats)."""
     return min(measured_sample_seconds(scheme, calls, semiring=semiring,
-                                       repeats=repeats))
+                                       repeats=repeats, session=session))
 
 
 def measured_sample_seconds(
@@ -133,6 +136,7 @@ def measured_sample_seconds(
     semiring: Semiring = PLUS_TIMES,
     repeats: int = 1,
     counter=None,
+    session=None,
 ) -> List[float]:
     """Per-repeat wall-clock samples for the call sequence.
 
@@ -141,13 +145,15 @@ def measured_sample_seconds(
     the min, so its regression gate has a noise estimate to work with.
     ``counter`` (an :class:`~repro.machine.OpCounter`) is threaded into
     every call — the history store's traced pass uses it to attach the
-    deterministic work certificate to each timing record.
+    deterministic work certificate to each timing record.  ``session``
+    (an :class:`~repro.engine.ExecutionSession`) is likewise threaded into
+    every masked-SpGEMM call; the SS:GB baselines ignore it.
     """
     samples: List[float] = []
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
         for call in calls:
-            _run_call(scheme, call, semiring, counter)
+            _run_call(scheme, call, semiring, counter, session)
         samples.append(time.perf_counter() - t0)
     return samples
 
@@ -215,6 +221,7 @@ def run_cases(
     complement_required: bool = False,
     chunk: Optional[int] = None,
     trace_dir: Optional[str] = None,
+    use_session: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     """Times for every (scheme, case): ``times[scheme.name][case_name]``.
 
@@ -228,6 +235,13 @@ def run_cases(
     plus ``.metrics.json`` pair there — the per-run artifact that sits next
     to the experiment's JSON results (``repro.bench.reporting.save_json``).
     Ignored in model mode, where no kernels actually execute.
+
+    ``use_session`` (measured mode only): run each (scheme, case) inside a
+    fresh :class:`~repro.engine.ExecutionSession`, so repeated passes over
+    the same call list hit the cross-call caches — the iterative-app usage
+    pattern.  The session's cache telemetry lands in the ``.metrics.json``
+    artifact when ``trace_dir`` is set.  ``python -m repro.bench
+    --no-session`` turns this off to time true cold starts.
     """
     if mode not in ("model", "measured"):
         raise ValueError("mode must be 'model' or 'measured'")
@@ -248,22 +262,40 @@ def run_cases(
                 row[case_name] = modeled_seconds(
                     scheme, calls, machine=machine, threads=threads, chunk=chunk
                 )
-            elif trace_dir is not None:
-                from ..observe import tracing, write_chrome_trace, write_metrics
+                continue
+            session = None
+            if use_session and scheme.algo not in ("ssgb_dot", "ssgb_saxpy"):
+                from ..engine import ExecutionSession
 
-                with tracing() as tracer:
-                    row[case_name] = measured_seconds(
-                        scheme, calls, semiring=semiring, repeats=repeats
+                session = ExecutionSession()
+            try:
+                if trace_dir is not None:
+                    from ..observe import (
+                        tracing,
+                        write_chrome_trace,
+                        write_metrics,
                     )
-                base = os.path.join(
-                    trace_dir,
-                    f"{_artifact_slug(scheme.name)}__{_artifact_slug(case_name)}",
-                )
-                write_chrome_trace(base + ".trace.json", tracer)
-                write_metrics(base + ".metrics.json", tracer, machine=machine)
-            else:
-                row[case_name] = measured_seconds(
-                    scheme, calls, semiring=semiring, repeats=repeats
-                )
+
+                    with tracing() as tracer:
+                        row[case_name] = measured_seconds(
+                            scheme, calls, semiring=semiring, repeats=repeats,
+                            session=session,
+                        )
+                    base = os.path.join(
+                        trace_dir,
+                        f"{_artifact_slug(scheme.name)}__"
+                        f"{_artifact_slug(case_name)}",
+                    )
+                    write_chrome_trace(base + ".trace.json", tracer)
+                    write_metrics(base + ".metrics.json", tracer,
+                                  machine=machine, session=session)
+                else:
+                    row[case_name] = measured_seconds(
+                        scheme, calls, semiring=semiring, repeats=repeats,
+                        session=session,
+                    )
+            finally:
+                if session is not None:
+                    session.close()
         out[scheme.name] = row
     return out

@@ -113,6 +113,7 @@ def masked_spgemm(
     orientation: str = "row",
     machine: Optional[MachineConfig] = None,
     backend: Optional[str] = None,
+    session=None,
 ) -> CSR:
     """Compute ``C = M .* (A @ B)`` (``!M`` with ``complement=True``).
 
@@ -152,6 +153,13 @@ def masked_spgemm(
         cost model choose (``serial`` | ``thread`` | ``process``), a string
         forces it.  Explicit algorithms run in-process; use
         :func:`repro.parallel.parallel_masked_spgemm` to parallelise them.
+    session:
+        Optional :class:`repro.engine.ExecutionSession` holding cross-call
+        caches for iterative workloads: plan cache, CSC transpose memo,
+        symbolic-bound memo and (for the process backend) the shm segment
+        registry.  Results are bit-for-bit identical with or without one.
+        ``False`` (the app-level "disable caching" sentinel) is accepted
+        and means the same as ``None`` here: no cross-call caching.
     """
     if orientation not in ("row", "column"):
         raise ValueError("orientation must be 'row' or 'column'")
@@ -169,6 +177,7 @@ def masked_spgemm(
             orientation="row",
             machine=machine,
             backend=backend,
+            session=session,
         )
         return ct.transpose()
     key = algo.lower()
@@ -207,8 +216,12 @@ def masked_spgemm(
             counter=counter,
             backend=backend,
             b_csc=b_csc,
+            session=session,
         )
     phases = 1 if phases is None else phases
+    session = session or None
+    if session is not None and not session.caching:
+        session = None
     if complement and not supports_complement(key):
         raise ValueError(f"{ALGO_LABELS[key]} does not support complemented masks")
 
@@ -224,16 +237,24 @@ def masked_spgemm(
             if tr is not None else _obs.NULL_SPAN
         )
         with sym_cm:
-            row_nnz = symbolic_masked(
-                a, b, mask, complement=complement, counter=counter
-            )
+            if session is not None:
+                row_nnz = session.symbolic_bounds(
+                    a, b, mask, complement=complement, counter=counter
+                )
+            else:
+                row_nnz = symbolic_masked(
+                    a, b, mask, complement=complement, counter=counter
+                )
         expected_nnz = int(row_nnz.sum())
     else:
         # 1P: the mask-derived scratch bound is what a C implementation
         # would allocate; computing it here keeps the 1P path honest about
         # that (cheap) sizing pass even though rows are assembled
         # functionally in Python.
-        one_phase_bound(a, b, mask, complement=complement)
+        if session is not None:
+            session.one_phase_bound(a, b, mask, complement=complement)
+        else:
+            one_phase_bound(a, b, mask, complement=complement)
         expected_nnz = None
 
     use_fast = impl == "fast" or (impl == "auto" and key in _FAST)
@@ -242,6 +263,8 @@ def masked_spgemm(
             f"{ALGO_LABELS[key]} has no vectorized fast path; use impl='auto' "
             "or impl='reference'"
         )
+    if key == "inner" and b_csc is None and session is not None:
+        b_csc = session.csc_of(b)
     if use_fast:
         kwargs = dict(complement=complement, semiring=semiring, counter=counter)
         if key == "inner":

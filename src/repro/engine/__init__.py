@@ -22,6 +22,7 @@ multi-backend) plugs in here.
 from .executor import execute, plan_and_execute
 from .plan import ExecutionPlan, RowBand
 from .planner import PLAN_CANDIDATES, Planner, plan
+from .session import ExecutionSession, Fingerprint, fingerprint_csr, resolve_session
 
 __all__ = [
     "ExecutionPlan",
@@ -31,4 +32,8 @@ __all__ = [
     "PLAN_CANDIDATES",
     "execute",
     "plan_and_execute",
+    "ExecutionSession",
+    "Fingerprint",
+    "fingerprint_csr",
+    "resolve_session",
 ]

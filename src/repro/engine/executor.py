@@ -61,6 +61,7 @@ def _run_band(
     counter: Optional[OpCounter],
     backend: str,
     b_csc: Optional[CSC],
+    session=None,
 ) -> CSR:
     if plan.threads > 1:
         parts = _partition_rows(plan.partition, a_band, b, plan.threads)
@@ -77,6 +78,7 @@ def _run_band(
             backend=backend,
             counter=counter,
             b_csc=b_csc,
+            session=session,
         )
     return masked_spgemm(
         a_band,
@@ -89,6 +91,7 @@ def _run_band(
         impl=impl,
         counter=counter,
         b_csc=b_csc,
+        session=session,
     )
 
 
@@ -184,6 +187,7 @@ def execute(
     counter: Optional[OpCounter] = None,
     backend: Optional[str] = None,
     b_csc: Optional[CSC] = None,
+    session=None,
 ) -> CSR:
     """Run ``C = M .* (A @ B)`` (``!M`` per the plan) as the plan dictates.
 
@@ -194,9 +198,18 @@ def execute(
     thread pool, and ``process`` dispatches to the shared-memory worker
     pool (:mod:`repro.parallel.pool`) with zero-copy operands.  ``b_csc``
     optionally amortises the CSC build for inner-product bands across calls.
+
+    ``session`` (an :class:`~repro.engine.ExecutionSession`) carries the
+    cross-call caches: the inner-product CSC comes from the session memo
+    and the process backend serves operand segments from the session's
+    registry.  Results are bit-for-bit identical either way.
     """
     plan.validate()
     backend = normalize_backend(plan.backend if backend is None else backend)
+    # ``False`` is the app-level "no caching" sentinel; accept it here too
+    session = session or None
+    if session is not None and not session.caching:
+        session = None
     if a.ncols != b.nrows:
         raise ValueError(
             f"inner dimensions of A and B do not agree: {a.shape} @ {b.shape}"
@@ -222,7 +235,7 @@ def execute(
         and plan.panel_width is None
         and any(band.algo == "inner" for band in plan.bands)
     ):
-        b_csc = CSC.from_csr(b)
+        b_csc = session.csc_of(b) if session is not None else CSC.from_csr(b)
 
     tr = _obs.current()
     exec_cm = (
@@ -262,6 +275,7 @@ def execute(
                         semiring=semiring, impl=impl, counter=counter,
                         backend=backend,
                         b_csc=b_csc if band.algo == "inner" else None,
+                        session=session,
                     )
             band_results.append(c_band)
 
@@ -292,11 +306,30 @@ def plan_and_execute(
     backend: Optional[str] = None,
     b_csc: Optional[CSC] = None,
     planner: Optional["Planner"] = None,
+    session=None,
     **plan_kwargs,
 ) -> CSR:
-    """Plan and immediately execute — the ``algo="auto"`` one-call path."""
+    """Plan and immediately execute — the ``algo="auto"`` one-call path.
+
+    With a ``session``, planning goes through the session's plan cache
+    (keyed on operand structure fingerprints + planner knobs) and execution
+    reuses the session's CSC memo and shm segment registry.
+    """
     from .planner import Planner
 
+    session = session or None
+    if session is not None and session.caching:
+        pl = session.plan(
+            a, b, mask,
+            complement=complement, phases=phases,
+            semiring_name=getattr(semiring, "name", None),
+            counter=counter, backend=backend, **plan_kwargs,
+        )
+        return execute(
+            pl, a, b, mask,
+            semiring=semiring, impl=impl, counter=counter,
+            backend=None, b_csc=b_csc, session=session,
+        )
     pl = (planner or Planner(machine or HASWELL)).plan(
         a, b, mask, complement=complement, phases=phases, **plan_kwargs
     )

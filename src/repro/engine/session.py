@@ -1,0 +1,444 @@
+"""Cross-call execution sessions: fingerprints, plan cache, segment reuse.
+
+The paper's flagship workloads are iterative — k-truss re-multiplies a
+shrinking adjacency every pruning round (Section 8.3), batched BC performs
+~2·diameter masked products per batch against a *constant* A (Section 8.4)
+— yet a bare ``masked_spgemm`` call is a cold start: the planner
+re-classifies rows, the inner-product kernel re-transposes B, and the
+process backend republishes every operand into fresh shared-memory
+segments.  An :class:`ExecutionSession` amortises all of that across
+calls:
+
+* **operand fingerprints** (:class:`Fingerprint`) — identity fast path
+  (same CSR object, same backing arrays → cached digest) over a content
+  digest (blake2b over ``indptr``/``indices`` for structure, over ``data``
+  for values).  Content keys make every downstream cache safe: a *new*
+  object with equal bytes hits, a changed operand misses.
+* **plan cache** — LRU of :class:`~repro.engine.ExecutionPlan` keyed on
+  the operands' structure digests plus the forced planning knobs and
+  semiring; planning is structure-driven, so values-only changes reuse
+  the plan.
+* **segment registry** (:class:`~repro.parallel.segment_cache.SegmentCache`)
+  — published shm segments (and derived CSC transposes) stay alive across
+  calls; only operands whose fingerprint changed are republished, and a
+  values-only change rewrites the data segment in place.
+* **derived-CSC memo** — ``CSC.from_csr`` (a lexsort transpose) runs once
+  per operand content; the result is memoised on the session *and* on the
+  CSR object itself behind the fingerprint.
+* **symbolic bound memo** — 1P mask bounds and 2P symbolic sweeps are
+  cached per structure; on a hit the recorded counter delta is replayed,
+  so sessioned and sessionless runs report identical ``OpCounter`` totals.
+
+Results are bit-for-bit identical with or without a session; the reuse
+shows up only in wall time and in the ``plan_cache_hits`` /
+``segments_reused`` / ``bytes_republished`` counters (surfaced through
+``OpCounter``, ``metrics()`` and ``report()``).
+
+Invalidation contract: caches key on *content*, so stale entries are
+unreachable, not wrong — with one exception.  The identity fast path
+trusts that a previously fingerprinted CSR object whose three backing
+arrays are the same objects has not been mutated *in place*.  Code that
+writes into ``mat.data[...]`` (none of this repo's apps do) must call
+:meth:`ExecutionSession.invalidate` on the matrix, or run the session
+with ``strict=True`` to re-digest every call.  See ``docs/sessions.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..machine import HASWELL, MachineConfig, OpCounter
+from ..sparse import CSC, CSR
+from .planner import Planner
+
+__all__ = [
+    "ExecutionSession",
+    "Fingerprint",
+    "fingerprint_csr",
+    "resolve_session",
+]
+
+
+def _buf(arr: np.ndarray):
+    return memoryview(np.ascontiguousarray(arr))
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """Content identity of a CSR operand.
+
+    ``structure`` digests ``(shape, sorted_indices, indptr, indices)`` and
+    drives plan/bound caching (planning never reads values); ``values``
+    digests ``data`` and, together with ``structure``, keys the published
+    segments.  Equal fingerprints ⇒ equal bytes (up to digest collision,
+    128-bit blake2b — negligible).
+    """
+
+    shape: Tuple[int, int]
+    nnz: int
+    structure: str
+    values: str
+
+    @property
+    def key(self) -> tuple:
+        """Full content key (structure + values)."""
+        return (self.shape, self.nnz, self.structure, self.values)
+
+    @property
+    def structure_key(self) -> tuple:
+        """Pattern-only key (values-insensitive)."""
+        return (self.shape, self.nnz, self.structure)
+
+
+def fingerprint_csr(mat: CSR) -> Fingerprint:
+    """Digest a CSR operand (one linear pass over its three arrays)."""
+    hs = hashlib.blake2b(digest_size=16)
+    hs.update(f"{mat.shape[0]}x{mat.shape[1]}|{int(mat.sorted_indices)}".encode())
+    hs.update(_buf(mat.indptr))
+    hs.update(_buf(mat.indices))
+    hv = hashlib.blake2b(digest_size=16)
+    hv.update(mat.data.dtype.str.encode())
+    hv.update(_buf(mat.data))
+    return Fingerprint(mat.shape, mat.nnz, hs.hexdigest(), hv.hexdigest())
+
+
+class ExecutionSession:
+    """Cross-call reuse context for iterative masked SpGEMM.
+
+    Thread it through ``masked_spgemm(session=...)`` (or the ``session=``
+    parameter of the iterative apps, which open one automatically for
+    ``algo="auto"``), and close it — ``with ExecutionSession() as sess:``
+    — to release the shared-memory segments it keeps alive.
+
+    Parameters
+    ----------
+    machine:
+        Cost-model target for the session's planner (default Haswell).
+    planner:
+        A pre-built :class:`~repro.engine.Planner` to reuse (overrides
+        ``machine``).
+    plan_defaults:
+        Planning knobs (``threads``, ``backend``, ``partition``, ...)
+        applied to every ``algo="auto"`` call that does not force them —
+        the session carries the execution policy of a whole loop.
+    caching:
+        ``False`` keeps the planner/plan-defaults behaviour but disables
+        every reuse cache — the cold-start baseline for A/B timing
+        (``python -m repro.bench --no-session`` uses this).
+    strict:
+        Re-digest operands on every call instead of trusting the identity
+        fast path; required only if operand arrays are mutated in place.
+    plan_cache_size / csc_cache_size / bound_cache_size /
+    fingerprint_cache_size:
+        LRU capacities (entries).
+    segment_cache_bytes:
+        Byte budget of the shared-memory segment registry.
+
+    Not thread-safe: one session serves one coordinator loop.  Workers
+    never see the session — only the published segment specs.
+    """
+
+    def __init__(
+        self,
+        *,
+        machine: Optional[MachineConfig] = None,
+        planner: Optional[Planner] = None,
+        plan_defaults: Optional[dict] = None,
+        caching: bool = True,
+        strict: bool = False,
+        plan_cache_size: int = 128,
+        csc_cache_size: int = 16,
+        bound_cache_size: int = 64,
+        fingerprint_cache_size: int = 64,
+        segment_cache_bytes: Optional[int] = None,
+    ) -> None:
+        self.planner = planner if planner is not None else Planner(machine or HASWELL)
+        self.machine = self.planner.machine
+        self.plan_defaults = dict(plan_defaults or {})
+        self.caching = bool(caching)
+        self.strict = bool(strict)
+        self._plan_cache_size = int(plan_cache_size)
+        self._csc_cache_size = int(csc_cache_size)
+        self._bound_cache_size = int(bound_cache_size)
+        self._fp_cache_size = int(fingerprint_cache_size)
+        self._segment_cache_bytes = segment_cache_bytes
+        #: id(mat) -> (mat, (id(indptr), id(indices), id(data)), Fingerprint).
+        #: Holding ``mat`` strongly guarantees the id is never recycled
+        #: while the entry lives (the LRU bounds how long that is).
+        self._fps: "OrderedDict[int, tuple]" = OrderedDict()
+        self._plans: "OrderedDict[tuple, object]" = OrderedDict()
+        self._cscs: "OrderedDict[tuple, CSC]" = OrderedDict()
+        self._bounds: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._segments = None  # lazy SegmentCache
+        # reuse telemetry
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.csc_cache_hits = 0
+        self.csc_cache_misses = 0
+        self.bound_cache_hits = 0
+        self.bound_cache_misses = 0
+        self.fingerprint_digests = 0
+
+    # -- fingerprints --------------------------------------------------
+    def fingerprint(self, mat: CSR) -> Fingerprint:
+        """Fingerprint with an identity fast path (see module docs)."""
+        key = id(mat)
+        ent = self._fps.get(key)
+        if (
+            ent is not None
+            and not self.strict
+            and ent[0] is mat
+            and ent[1] == (id(mat.indptr), id(mat.indices), id(mat.data))
+        ):
+            self._fps.move_to_end(key)
+            return ent[2]
+        fp = fingerprint_csr(mat)
+        self.fingerprint_digests += 1
+        self._fps[key] = (mat, (id(mat.indptr), id(mat.indices), id(mat.data)), fp)
+        self._fps.move_to_end(key)
+        while len(self._fps) > self._fp_cache_size:
+            self._fps.popitem(last=False)
+        return fp
+
+    def invalidate(self, mat: Optional[CSR] = None) -> None:
+        """Forget the cached fingerprint of ``mat`` (all operands when
+        ``None``) so the next call re-digests it.  Needed only after
+        mutating a fingerprinted matrix's arrays *in place* — content
+        keys make every other cache self-invalidating."""
+        if mat is None:
+            self._fps.clear()
+        else:
+            self._fps.pop(id(mat), None)
+
+    # -- plan cache ----------------------------------------------------
+    def plan(
+        self,
+        a: CSR,
+        b: CSR,
+        mask: CSR,
+        *,
+        complement: bool = False,
+        phases: Optional[int] = None,
+        semiring_name: Optional[str] = None,
+        counter: Optional[OpCounter] = None,
+        **plan_kwargs,
+    ):
+        """Plan via the session's planner, reusing a cached plan when the
+        operands' structure and the forced knobs are unchanged.  Knobs
+        left ``None`` fall back to :attr:`plan_defaults`."""
+        merged = dict(self.plan_defaults)
+        merged.update({k: v for k, v in plan_kwargs.items() if v is not None})
+        if not self.caching:
+            return self.planner.plan(
+                a, b, mask, complement=complement, phases=phases, **merged
+            )
+        key = (
+            self.fingerprint(a).structure_key,
+            self.fingerprint(b).structure_key,
+            self.fingerprint(mask).structure_key,
+            bool(complement),
+            phases,
+            semiring_name,
+            tuple(sorted(merged.items())),
+        )
+        pl = self._plans.get(key)
+        if pl is not None:
+            self._plans.move_to_end(key)
+            self.plan_cache_hits += 1
+            if counter is not None:
+                counter.plan_cache_hits += 1
+            return pl
+        pl = self.planner.plan(
+            a, b, mask, complement=complement, phases=phases, **merged
+        )
+        self.plan_cache_misses += 1
+        self._plans[key] = pl
+        while len(self._plans) > self._plan_cache_size:
+            self._plans.popitem(last=False)
+        return pl
+
+    # -- derived CSC ---------------------------------------------------
+    def csc_of(self, mat: CSR, fp: Optional[Fingerprint] = None) -> CSC:
+        """``CSC.from_csr(mat)``, transposing at most once per content.
+
+        The result is memoised both in the session LRU and on the CSR
+        object itself (``mat._csc_memo``, guarded by the fingerprint), so
+        BC's backward sweep stops re-transposing a constant A even when
+        the session turns over."""
+        if not self.caching:
+            return CSC.from_csr(mat)
+        fp = self.fingerprint(mat) if fp is None else fp
+        memo = getattr(mat, "_csc_memo", None)
+        if memo is not None and memo[0] == fp.key:
+            self.csc_cache_hits += 1
+            self._cscs[fp.key] = memo[1]
+            self._cscs.move_to_end(fp.key)
+            return memo[1]
+        csc = self._cscs.get(fp.key)
+        if csc is not None:
+            self._cscs.move_to_end(fp.key)
+            self.csc_cache_hits += 1
+            mat._csc_memo = (fp.key, csc)
+            return csc
+        csc = CSC.from_csr(mat)
+        self.csc_cache_misses += 1
+        mat._csc_memo = (fp.key, csc)
+        self._cscs[fp.key] = csc
+        while len(self._cscs) > self._csc_cache_size:
+            self._cscs.popitem(last=False)
+        return csc
+
+    # -- symbolic bounds -----------------------------------------------
+    def one_phase_bound(self, a: CSR, b: CSR, mask: CSR, *, complement: bool):
+        """Cached :func:`repro.core.symbolic.one_phase_bound` (pure
+        structure function, charges no counters)."""
+        from ..core.symbolic import one_phase_bound
+
+        if not self.caching:
+            return one_phase_bound(a, b, mask, complement=complement)
+        key = self._bound_key("1p", a, b, mask, complement)
+        hit = self._bounds.get(key)
+        if hit is not None:
+            self._bounds.move_to_end(key)
+            self.bound_cache_hits += 1
+            return hit
+        result = one_phase_bound(a, b, mask, complement=complement)
+        self.bound_cache_misses += 1
+        self._store_bound(key, result)
+        return result
+
+    def symbolic_bounds(
+        self,
+        a: CSR,
+        b: CSR,
+        mask: CSR,
+        *,
+        complement: bool,
+        counter: Optional[OpCounter] = None,
+    ) -> np.ndarray:
+        """Cached :func:`repro.core.symbolic.symbolic_masked`.
+
+        The sweep's counter charges are recorded on the first run and
+        *replayed* into ``counter`` on every hit, so a sessioned run
+        reports exactly the ``symbolic_flops`` a sessionless run would."""
+        from ..core.symbolic import symbolic_masked
+
+        if not self.caching:
+            return symbolic_masked(a, b, mask, complement=complement,
+                                   counter=counter)
+        key = self._bound_key("2p", a, b, mask, complement)
+        hit = self._bounds.get(key)
+        if hit is not None:
+            self._bounds.move_to_end(key)
+            self.bound_cache_hits += 1
+            row_nnz, charged = hit
+            if counter is not None:
+                counter.merge(charged)
+            return row_nnz
+        charged = OpCounter()
+        row_nnz = symbolic_masked(a, b, mask, complement=complement,
+                                  counter=charged)
+        if counter is not None:
+            counter.merge(charged)
+        self.bound_cache_misses += 1
+        self._store_bound(key, (row_nnz, charged))
+        return row_nnz
+
+    def _bound_key(self, kind: str, a, b, mask, complement: bool) -> tuple:
+        return (
+            kind,
+            self.fingerprint(a).structure_key,
+            self.fingerprint(b).structure_key,
+            self.fingerprint(mask).structure_key,
+            bool(complement),
+        )
+
+    def _store_bound(self, key: tuple, value) -> None:
+        self._bounds[key] = value
+        while len(self._bounds) > self._bound_cache_size:
+            self._bounds.popitem(last=False)
+
+    # -- segment registry ----------------------------------------------
+    @property
+    def segment_cache(self):
+        """The session's :class:`~repro.parallel.segment_cache.SegmentCache`
+        (created on first process-backend use)."""
+        if self._segments is None:
+            from ..parallel.segment_cache import SegmentCache
+
+            kwargs = {}
+            if self._segment_cache_bytes is not None:
+                kwargs["max_bytes"] = int(self._segment_cache_bytes)
+            self._segments = SegmentCache(**kwargs)
+        return self._segments
+
+    # -- telemetry -----------------------------------------------------
+    def stats(self) -> dict:
+        """Flat reuse-counter dict (the ``"session"`` key of ``metrics()``)."""
+        out = {
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "csc_cache_hits": self.csc_cache_hits,
+            "csc_cache_misses": self.csc_cache_misses,
+            "bound_cache_hits": self.bound_cache_hits,
+            "bound_cache_misses": self.bound_cache_misses,
+            "fingerprint_digests": self.fingerprint_digests,
+            "segments_reused": 0,
+            "segments_published": 0,
+            "values_republished": 0,
+            "bytes_published": 0,
+            "bytes_republished": 0,
+            "cached_entries": 0,
+            "cached_bytes": 0,
+        }
+        if self._segments is not None:
+            out.update(self._segments.stats())
+        return out
+
+    def metrics(self) -> dict:
+        """Session stats plus the persistent kernel-arena telemetry (the
+        scratch leases already live for the process lifetime; the session
+        surfaces them next to its own reuse counters)."""
+        from ..core.kernels.arena import arena_stats
+
+        return {"session": self.stats(), "arena": arena_stats()}
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Release everything the session keeps alive — most importantly
+        the shared-memory segments.  Idempotent; the session stays usable
+        afterwards (cold)."""
+        if self._segments is not None:
+            self._segments.close()
+            self._segments = None
+        self._plans.clear()
+        self._fps.clear()
+        self._cscs.clear()
+        self._bounds.clear()
+
+    def __enter__(self) -> "ExecutionSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def resolve_session(session, *, auto: bool = True,
+                    machine: Optional[MachineConfig] = None):
+    """Normalise an app-level ``session`` argument.
+
+    Returns ``(session_or_None, owned)``: ``None`` opens a fresh session
+    when ``auto`` (the app closes it — ``owned=True``), ``False`` disables
+    sessions entirely, and an :class:`ExecutionSession` instance is used
+    as-is (the caller keeps ownership).
+    """
+    if session is False or (session is None and not auto):
+        return None, False
+    if session is None:
+        return ExecutionSession(machine=machine), True
+    return session, False

@@ -25,6 +25,12 @@ Counter semantics:
   ``nnz(m)/load_factor`` per row).
 * ``spa_resets`` — cells cleared when recycling a dense accumulator.
 * ``symbolic_flops`` — work done in a 2P symbolic phase.
+* ``plan_cache_hits`` / ``segments_reused`` / ``bytes_republished`` —
+  cross-call reuse wins of an :class:`~repro.engine.ExecutionSession`
+  (plan reused from the session's LRU; shared-memory operand segments
+  served from the session registry instead of republished; bytes rewritten
+  in place for a values-only operand change).  Zero in sessionless runs,
+  so backend-equivalence comparisons are unaffected.
 
 Schema growth: counters cross process and file boundaries (pool workers
 pickle them back; the benchmark history stores their dict form), so every
@@ -59,6 +65,11 @@ class OpCounter:
     spa_resets: int = 0
     symbolic_flops: int = 0
     output_nnz: int = 0
+    # session-reuse counters (appended last: snapshots taken before the
+    # schema grew keep reading correctly through diff())
+    plan_cache_hits: int = 0
+    segments_reused: int = 0
+    bytes_republished: int = 0
 
     def merge(self, other: "OpCounter") -> "OpCounter":
         """Accumulate another counter into this one (in place).

@@ -118,7 +118,7 @@ def estimated_bytes_moved(counter_totals: Dict[str, int], machine=None) -> int:
     return int(words) * word_bytes
 
 
-def metrics(tracer_or_spans, *, machine=None, probes=None) -> dict:
+def metrics(tracer_or_spans, *, machine=None, probes=None, session=None) -> dict:
     """Flat metrics summary of a trace (see module docs).
 
     ``probes`` may be a :class:`~repro.observe.probes.ProbeRegistry`; when
@@ -127,6 +127,11 @@ def metrics(tracer_or_spans, *, machine=None, probes=None) -> dict:
     export lands under the ``"probes"`` key ({} when disabled), keyed by
     histogram name with power-of-two bucket counts plus exact
     count/total/max — see ``docs/observability.md`` for the schema.
+
+    ``session`` may be an :class:`~repro.engine.ExecutionSession`; its
+    cache telemetry (plan / CSC / bound hit counts, segment reuse and
+    republished bytes) lands under the ``"session"`` key ({} when absent)
+    — see ``docs/sessions.md``.
     """
     if probes is None:
         probes = _probes.current()
@@ -159,6 +164,7 @@ def metrics(tracer_or_spans, *, machine=None, probes=None) -> dict:
         "bytes_moved_estimate": estimated_bytes_moved(totals, machine),
         "machine": getattr(machine, "name", None),
         "probes": probes.export() if probes is not None else {},
+        "session": session.stats() if session is not None else {},
     }
 
 
@@ -168,10 +174,12 @@ def write_chrome_trace(path, tracer_or_spans) -> None:
         json.dump(chrome_trace(tracer_or_spans), fh, indent=1, default=_jsonable)
 
 
-def write_metrics(path, tracer_or_spans, *, machine=None, probes=None) -> None:
+def write_metrics(path, tracer_or_spans, *, machine=None, probes=None,
+                  session=None) -> None:
     """Write :func:`metrics` output as JSON."""
     with open(path, "w") as fh:
-        json.dump(metrics(tracer_or_spans, machine=machine, probes=probes),
+        json.dump(metrics(tracer_or_spans, machine=machine, probes=probes,
+                          session=session),
                   fh, indent=1, default=_jsonable)
 
 

@@ -86,10 +86,12 @@ def format_probes(export: dict) -> str:
     return "\n".join(lines)
 
 
-def report(tracer, *, plan=None, probes=None) -> str:
+def report(tracer, *, plan=None, probes=None, session=None) -> str:
     """Render a full trace report (plan, span tree, modeled vs measured,
     and — when a probe registry is installed or passed — the accumulator
-    micro-telemetry histograms)."""
+    micro-telemetry histograms).  Passing an
+    :class:`~repro.engine.ExecutionSession` adds a session-reuse section
+    (plan-cache and segment-registry hit rates)."""
     if probes is None:
         probes = _probes.current()
     spans = tracer.spans
@@ -127,4 +129,27 @@ def report(tracer, *, plan=None, probes=None) -> str:
             lines.append("")
             lines.append("=== accumulator micro-telemetry ===")
             lines.append(format_probes(export))
+
+    if session is not None:
+        st = session.stats()
+        lines.append("")
+        lines.append("=== session reuse ===")
+        lines.append(
+            f"  plan cache      hits={st['plan_cache_hits']:<8d} "
+            f"misses={st['plan_cache_misses']}"
+        )
+        lines.append(
+            f"  csc memo        hits={st['csc_cache_hits']:<8d} "
+            f"misses={st['csc_cache_misses']}"
+        )
+        lines.append(
+            f"  symbolic bounds hits={st['bound_cache_hits']:<8d} "
+            f"misses={st['bound_cache_misses']}"
+        )
+        lines.append(
+            f"  shm segments    reused={st['segments_reused']:<6d} "
+            f"published={st['segments_published']} "
+            f"({st['bytes_published']} B fresh, "
+            f"{st['bytes_republished']} B value rewrites)"
+        )
     return "\n".join(lines)

@@ -177,6 +177,7 @@ def run_partitioned(
     backend: str = "thread",
     counter: Optional[OpCounter] = None,
     b_csc: Optional[CSC] = None,
+    session=None,
 ) -> CSR:
     """Execute one algorithm over an explicit row partition.
 
@@ -186,10 +187,17 @@ def run_partitioned(
     Contiguous partitions are sliced with :func:`row_block` (compact, no
     per-partition ``nrows+1`` pointer array); scattered ones fall back to
     shape-preserving :func:`row_slice`.
+
+    ``session`` (an :class:`~repro.engine.ExecutionSession`) makes the
+    process backend serve operand segments from the session's cross-call
+    registry instead of publishing/unlinking per call, and amortises the
+    inner-product CSC build.
     """
     backend = normalize_backend(backend)
+    if session is not None and not session.caching:
+        session = None
     if b_csc is None and algo.lower() == "inner":
-        b_csc = CSC.from_csr(b)
+        b_csc = session.csc_of(b) if session is not None else CSC.from_csr(b)
     shape = (a.nrows, b.ncols)
 
     if backend == "process" and len(parts) > 1:
@@ -197,6 +205,7 @@ def run_partitioned(
             a, b, mask,
             algo=algo, parts=parts, phases=phases, complement=complement,
             semiring=semiring, impl=impl, counter=counter, b_csc=b_csc,
+            session=session,
         )
         if result is not None:
             return result
@@ -270,9 +279,18 @@ def _run_partitioned_process(
     impl: str,
     counter: Optional[OpCounter],
     b_csc: Optional[CSC],
+    session=None,
 ) -> Optional[CSR]:
     """The shared-memory process backend; ``None`` means "fall back to
-    threads" (untransferable semiring or missing platform support)."""
+    threads" (untransferable semiring or missing platform support).
+
+    With a ``session``, operand segments come from the session's
+    :class:`~repro.parallel.segment_cache.SegmentCache`: unchanged
+    operands (by content fingerprint) are *reused*, values-only changes
+    are rewritten in place, and nothing is unlinked at call end — the
+    session owns the lifecycle.  Sessionless calls keep the historical
+    publish-use-unlink cycle.
+    """
     from . import pool as _pool
     from . import shm as _shm
 
@@ -284,15 +302,33 @@ def _run_partitioned_process(
     tracer = _obs.current()
     probes = _probes.current()
 
-    with _shm.SegmentGroup() as group:
-        a_spec = group.publish_csr(a)
-        b_spec = group.publish_csr(b)
-        m_spec = group.publish_csr(mask)
-        csc_spec = (
-            group.publish_csc(b_csc)
-            if b_csc is not None and algo.lower() == "inner"
-            else None
-        )
+    cache = session.segment_cache if session is not None else None
+    group = None
+    if cache is not None:
+        cache.begin_call()
+        seg_before = (cache.segments_reused, cache.bytes_republished)
+    else:
+        group = _shm.SegmentGroup()
+    try:
+        if cache is not None:
+            a_spec = cache.publish_csr(a, session.fingerprint(a))
+            # content keys dedupe identical operands (TC/k-truss publish once)
+            b_spec = cache.publish_csr(b, session.fingerprint(b))
+            m_spec = cache.publish_csr(mask, session.fingerprint(mask))
+            csc_spec = (
+                cache.publish_csc(session.fingerprint(b), b_csc)
+                if b_csc is not None and algo.lower() == "inner"
+                else None
+            )
+        else:
+            a_spec = group.publish_csr(a)
+            b_spec = group.publish_csr(b)
+            m_spec = group.publish_csr(mask)
+            csc_spec = (
+                group.publish_csc(b_csc)
+                if b_csc is not None and algo.lower() == "inner"
+                else None
+            )
         tasks = []
         for rows in parts:
             rows = np.asarray(rows, dtype=np.int64)
@@ -319,6 +355,15 @@ def _run_partitioned_process(
         triples, counters, span_batches, probe_batches = _pool.run_tasks(
             len(parts), tasks
         )
+    finally:
+        if group is not None:
+            group.close()
+        else:
+            cache.end_call()
+
+    if cache is not None and counter is not None:
+        counter.segments_reused += cache.segments_reused - seg_before[0]
+        counter.bytes_republished += cache.bytes_republished - seg_before[1]
 
     if tracer is not None:
         # worker-side spans (partition + nested kernel spans) land on the

@@ -45,7 +45,7 @@ pytestmark = pytest.mark.history
 def tiny_run():
     """One collected run over the miniature pinned case set."""
     cases = pinned_cases(rmat_scale=6, grid_n=128, grid_degrees=(2, 4))
-    return collect_run(repeats=2, cases=cases)
+    return collect_run(repeats=2, cases=cases, session_rmat_scale=6)
 
 
 def _rec(median, mad=0.0, **overrides):
@@ -68,16 +68,26 @@ class TestCollection:
         assert set(tiny_run["env"]) == {
             "git_sha", "python", "numpy", "cpu_count", "platform", "machine",
         }
-        # 3 pinned schemes x (1 TC case + 2x2 grid cells)
-        assert len(tiny_run["records"]) == 15
+        # 3 pinned schemes x (1 TC case + 2x2 grid cells), plus the two
+        # sessioned iterative-app records
+        assert len(tiny_run["records"]) == 17
         schemes = {r["scheme"] for r in tiny_run["records"]}
-        assert schemes == set(PINNED_SCHEME_NAMES)
+        assert schemes == set(PINNED_SCHEME_NAMES) | {
+            "ktruss-session", "bc-session",
+        }
 
     def test_record_carries_work_certificate(self, tiny_run):
         for r in tiny_run["records"]:
             assert r["repeats"] == 2 and len(r["samples_s"]) == 2
             assert r["median_s"] > 0 and r["mad_s"] >= 0
             assert r["counters"].get("flops", 0) > 0
+            if "session" in r:
+                # sessioned app records certify cache telemetry instead of
+                # probe histograms; work counters must exclude the cache
+                # counters (those live under "session")
+                assert r["session"]["plan_cache_hits"] > 0
+                assert "plan_cache_hits" not in r["counters"]
+                continue
             assert r["bytes_moved_estimate"] > 0
             assert r["probes"], f"no probe histograms on {record_key(r)}"
 
@@ -91,7 +101,7 @@ class TestCollection:
 
     def test_counters_deterministic_across_collections(self, tiny_run):
         cases = pinned_cases(rmat_scale=6, grid_n=128, grid_degrees=(2, 4))
-        again = collect_run(repeats=1, cases=cases)
+        again = collect_run(repeats=1, cases=cases, session_rmat_scale=6)
         by_key = {record_key(r): r for r in again["records"]}
         for r in tiny_run["records"]:
             assert by_key[record_key(r)]["counters"] == r["counters"]

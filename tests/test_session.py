@@ -1,0 +1,450 @@
+"""Cross-call execution-session suite: fingerprints, plan cache, segment
+reuse — and above all equivalence: a sessioned run must be bit-for-bit
+identical to a sessionless one, with identical work counters.
+
+Covers the cache hit/miss matrix (new object with equal bytes → hit;
+mutated values → values-only republish; mutated structure → full miss),
+intra-call operand dedup (the k-truss A = B = M shape publishes one
+segment set), segment-leak hygiene (``active_segments()`` empty after
+close), strict-mode in-place-mutation detection, and the CI smoke case —
+a sessioned BC batch on R-MAT over the process backend with
+``segments_reused > 0``.
+
+The module carries the ``session`` marker so CI runs it inside the
+backend-smoke job (``pytest -m session``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import masked_spgemm
+from repro.engine import (
+    ExecutionSession,
+    Fingerprint,
+    fingerprint_csr,
+    plan_and_execute,
+    resolve_session,
+)
+from repro.graphs import erdos_renyi, rmat
+from repro.machine import OpCounter
+from repro.parallel import (
+    active_segments,
+    process_backend_available,
+    run_partitioned,
+    shutdown_pool,
+)
+from repro.parallel.partition import block_partition
+from repro.sparse import CSR, read_mtx
+
+pytestmark = pytest.mark.session
+
+DATA = Path(__file__).parent.parent / "data"
+BACKENDS = ("serial", "thread", "process")
+
+#: counters that report cache reuse, not algorithmic work — the only
+#: OpCounter fields allowed to differ between sessioned and sessionless
+SESSION_FIELDS = ("plan_cache_hits", "segments_reused", "bytes_republished")
+
+
+def _inputs():
+    karate = read_mtx(DATA / "karate.mtx")
+    er = erdos_renyi(48, 48, 3, seed=7, values="uniform")
+    rm = rmat(6, seed=3)
+    return [("karate", karate), ("er", er), ("rmat", rm)]
+
+
+@pytest.fixture(scope="module", params=_inputs(), ids=lambda p: p[0])
+def square_problem(request):
+    g = request.param[1]
+    return g, g, g
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_pool()
+    assert active_segments() == ()
+
+
+def _work_fields(counter: OpCounter) -> dict:
+    return {
+        f.name: getattr(counter, f.name)
+        for f in dataclasses.fields(counter)
+        if f.name not in SESSION_FIELDS
+    }
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_equal_bytes_equal_fingerprint(self):
+        a = erdos_renyi(32, 32, 3, seed=1, values="uniform")
+        b = CSR((32, 32), a.indptr.copy(), a.indices.copy(), a.data.copy(),
+                sorted_indices=a.sorted_indices)
+        assert fingerprint_csr(a) == fingerprint_csr(b)
+
+    def test_values_change_structure_stable(self):
+        a = erdos_renyi(32, 32, 3, seed=1, values="uniform")
+        b = CSR((32, 32), a.indptr.copy(), a.indices.copy(), a.data * 2.0,
+                sorted_indices=a.sorted_indices)
+        fa, fb = fingerprint_csr(a), fingerprint_csr(b)
+        assert fa.structure_key == fb.structure_key
+        assert fa.key != fb.key
+
+    def test_structure_change_changes_structure(self):
+        a = erdos_renyi(32, 32, 3, seed=1)
+        b = erdos_renyi(32, 32, 3, seed=2)
+        assert fingerprint_csr(a).structure_key != fingerprint_csr(b).structure_key
+
+    def test_identity_fast_path_digests_once(self):
+        a = erdos_renyi(32, 32, 3, seed=1)
+        sess = ExecutionSession()
+        f1 = sess.fingerprint(a)
+        f2 = sess.fingerprint(a)
+        assert f1 is f2
+        assert sess.fingerprint_digests == 1
+
+    def test_invalidate_forces_redigest(self):
+        a = erdos_renyi(32, 32, 3, seed=1, values="uniform")
+        sess = ExecutionSession()
+        f1 = sess.fingerprint(a)
+        a.data[:] = a.data * 3.0  # in-place mutation: fast path cannot see it
+        assert sess.fingerprint(a) is f1  # stale by design
+        sess.invalidate(a)
+        f2 = sess.fingerprint(a)
+        assert f2.key != f1.key
+        assert f2.structure_key == f1.structure_key
+
+    def test_strict_mode_sees_inplace_mutation(self):
+        a = erdos_renyi(32, 32, 3, seed=1, values="uniform")
+        sess = ExecutionSession(strict=True)
+        f1 = sess.fingerprint(a)
+        a.data[:] = a.data * 3.0
+        assert sess.fingerprint(a).key != f1.key
+
+    def test_fingerprint_is_frozen_dataclass(self):
+        fp = fingerprint_csr(erdos_renyi(8, 8, 2, seed=1))
+        assert isinstance(fp, Fingerprint)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            fp.nnz = 0
+
+
+# ----------------------------------------------------------------------
+# plan cache
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_same_structure_hits(self, square_problem):
+        a, b, m = square_problem
+        sess = ExecutionSession()
+        p1 = sess.plan(a, b, m)
+        p2 = sess.plan(a, b, m)
+        assert p1 is p2
+        assert sess.plan_cache_hits == 1
+        assert sess.plan_cache_misses == 1
+
+    def test_values_only_change_still_hits(self):
+        a = erdos_renyi(48, 48, 3, seed=7, values="uniform")
+        a2 = CSR((48, 48), a.indptr.copy(), a.indices.copy(), a.data * 2.0,
+                 sorted_indices=a.sorted_indices)
+        sess = ExecutionSession()
+        p1 = sess.plan(a, a, a)
+        p2 = sess.plan(a2, a2, a2)
+        assert p1 is p2
+
+    def test_structure_change_misses(self):
+        a = erdos_renyi(48, 48, 3, seed=7)
+        b = erdos_renyi(48, 48, 3, seed=8)
+        sess = ExecutionSession()
+        assert sess.plan(a, a, a) is not sess.plan(b, b, b)
+        assert sess.plan_cache_hits == 0
+        assert sess.plan_cache_misses == 2
+
+    def test_knobs_partition_the_cache(self, square_problem):
+        a, b, m = square_problem
+        sess = ExecutionSession()
+        p1 = sess.plan(a, b, m)
+        p2 = sess.plan(a, b, m, complement=True)
+        p3 = sess.plan(a, b, m, threads=2)
+        assert p1 is not p2 and p1 is not p3 and p2 is not p3
+
+    def test_counter_charged_on_hit_only(self, square_problem):
+        a, b, m = square_problem
+        sess = ExecutionSession()
+        c = OpCounter()
+        sess.plan(a, b, m, counter=c)
+        assert c.plan_cache_hits == 0
+        sess.plan(a, b, m, counter=c)
+        assert c.plan_cache_hits == 1
+
+    def test_plan_defaults_apply(self, square_problem):
+        a, b, m = square_problem
+        sess = ExecutionSession(plan_defaults={"threads": 2, "backend": "serial"})
+        pl = sess.plan(a, b, m)
+        assert pl.threads == 2
+        assert pl.backend == "serial"
+
+    def test_lru_eviction(self):
+        sess = ExecutionSession(plan_cache_size=2)
+        graphs = [erdos_renyi(32, 32, 3, seed=s) for s in range(3)]
+        for g in graphs:
+            sess.plan(g, g, g)
+        sess.plan(graphs[0], graphs[0], graphs[0])  # evicted: misses again
+        assert sess.plan_cache_misses == 4
+
+    def test_caching_false_bypasses(self, square_problem):
+        a, b, m = square_problem
+        sess = ExecutionSession(caching=False)
+        sess.plan(a, b, m)
+        sess.plan(a, b, m)
+        assert sess.plan_cache_hits == 0 and sess.plan_cache_misses == 0
+
+
+# ----------------------------------------------------------------------
+# derived CSC + symbolic bound memo
+# ----------------------------------------------------------------------
+class TestDerivedCaches:
+    def test_csc_memoised_on_session_and_object(self):
+        a = erdos_renyi(48, 48, 3, seed=7, values="uniform")
+        sess = ExecutionSession()
+        c1 = sess.csc_of(a)
+        c2 = sess.csc_of(a)
+        assert c1 is c2
+        assert sess.csc_cache_hits == 1
+        # a fresh session finds the object-level memo (same content)
+        sess2 = ExecutionSession()
+        assert sess2.csc_of(a) is c1
+        assert sess2.csc_cache_misses == 0
+
+    def test_csc_memo_invalidated_by_content_change(self):
+        a = erdos_renyi(48, 48, 3, seed=7, values="uniform")
+        sess = ExecutionSession()
+        c1 = sess.csc_of(a)
+        a.data[:] = a.data * 2.0
+        sess.invalidate(a)
+        c2 = sess.csc_of(a)
+        assert c2 is not c1
+
+    def test_symbolic_bounds_replay_counter(self, square_problem):
+        a, b, m = square_problem
+        sess = ExecutionSession()
+        c_miss, c_hit, c_ref = OpCounter(), OpCounter(), OpCounter()
+        r1 = sess.symbolic_bounds(a, b, m, complement=False, counter=c_miss)
+        r2 = sess.symbolic_bounds(a, b, m, complement=False, counter=c_hit)
+        from repro.core.symbolic import symbolic_masked
+
+        ref = symbolic_masked(a, b, m, complement=False, counter=c_ref)
+        assert np.array_equal(r1, ref) and np.array_equal(r2, ref)
+        assert c_miss == c_ref
+        assert c_hit == c_ref  # replayed, not skipped
+        assert sess.bound_cache_hits == 1
+
+    def test_one_phase_bound_cached(self, square_problem):
+        a, b, m = square_problem
+        sess = ExecutionSession()
+        r1 = sess.one_phase_bound(a, b, m, complement=False)
+        r2 = sess.one_phase_bound(a, b, m, complement=False)
+        assert r1 is r2
+        assert sess.bound_cache_hits == 1
+
+
+# ----------------------------------------------------------------------
+# shm segment registry (process backend)
+# ----------------------------------------------------------------------
+needs_process = pytest.mark.skipif(
+    not process_backend_available(),
+    reason="platform lacks shared-memory process support",
+)
+
+
+def _process_run(a, b, m, session, algo="msa", parts=2, **kw):
+    counter = OpCounter()
+    c = run_partitioned(
+        a, b, m, algo=algo, parts=block_partition(a.nrows, parts),
+        backend="process", counter=counter, session=session, **kw,
+    )
+    return c, counter
+
+
+@needs_process
+class TestSegmentReuse:
+    def test_second_call_reuses_segments(self):
+        a = erdos_renyi(64, 64, 4, seed=1, values="uniform")
+        b = rmat(6, seed=3)
+        m = erdos_renyi(64, 64, 6, seed=5)
+        with ExecutionSession() as sess:
+            _, c1 = _process_run(a, b, m, sess)
+            _, c2 = _process_run(a, b, m, sess)
+            assert c1.segments_reused == 0  # three distinct operands: cold
+            assert c2.segments_reused == 3  # all three served from the cache
+        assert active_segments() == ()
+
+    def test_values_mutation_republishes_values_only(self):
+        a = erdos_renyi(64, 64, 4, seed=1, values="uniform")
+        b = erdos_renyi(64, 64, 4, seed=2, values="uniform")
+        with ExecutionSession() as sess:
+            ref1, _ = _process_run(a, b, a, sess)
+            b.data[:] = b.data * 2.0
+            sess.invalidate(b)
+            got, c3 = _process_run(a, b, a, sess)
+            serial = run_partitioned(
+                a, b, a, algo="msa", parts=block_partition(64, 2),
+                backend="serial",
+            )
+            assert np.array_equal(got.indptr, serial.indptr)
+            assert np.array_equal(got.indices, serial.indices)
+            assert np.array_equal(got.data, serial.data)
+            st = sess.segment_cache.stats()
+            assert st["values_republished"] == 1
+            assert c3.bytes_republished == b.data.nbytes
+
+    def test_structure_mutation_full_republish(self):
+        a = erdos_renyi(64, 64, 4, seed=1)
+        with ExecutionSession() as sess:
+            _process_run(a, a, a, sess)
+            published = sess.segment_cache.stats()["segments_published"]
+            a2 = erdos_renyi(64, 64, 4, seed=9)
+            _process_run(a2, a2, a2, sess)
+            st = sess.segment_cache.stats()
+            assert st["segments_published"] > published
+            assert st["values_republished"] == 0
+
+    def test_intra_call_dedup(self):
+        # the k-truss shape: A = B = M — one publication serves all three
+        g = rmat(6, seed=3)
+        with ExecutionSession() as sess:
+            _, counter = _process_run(g, g, g, sess)
+            assert counter.segments_reused >= 2
+            assert sess.segment_cache.stats()["segments_published"] == 1
+
+    def test_close_releases_segments(self):
+        g = rmat(6, seed=3)
+        sess = ExecutionSession()
+        _process_run(g, g, g, sess)
+        assert len(active_segments()) > 0
+        sess.close()
+        assert active_segments() == ()
+        # session stays usable (cold) after close
+        _, counter = _process_run(g, g, g, sess)
+        assert counter.segments_reused >= 2
+        sess.close()
+        assert active_segments() == ()
+
+
+# ----------------------------------------------------------------------
+# equivalence: sessioned == sessionless, bit for bit, counter for counter
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("phases", [1, 2])
+    def test_bitwise_and_counter_equivalence(self, square_problem, backend,
+                                             phases):
+        if backend == "process" and not process_backend_available():
+            pytest.skip("no process backend")
+        a, b, m = square_problem
+        cold = OpCounter()
+        ref = plan_and_execute(a, b, m, phases=phases, threads=2,
+                               backend=backend, counter=cold)
+        with ExecutionSession(
+            plan_defaults={"threads": 2, "backend": backend}
+        ) as sess:
+            for _ in range(2):  # second pass exercises every warm path
+                warm = OpCounter()
+                got = plan_and_execute(a, b, m, phases=phases, counter=warm,
+                                       session=sess)
+                assert np.array_equal(got.indptr, ref.indptr)
+                assert np.array_equal(got.indices, ref.indices)
+                assert np.array_equal(got.data, ref.data)
+                assert _work_fields(warm) == _work_fields(cold)
+            assert sess.plan_cache_hits >= 1
+
+    @pytest.mark.parametrize("algo", ["msa", "hash", "inner", "mca", "esc"])
+    def test_explicit_algo_equivalence(self, square_problem, algo):
+        a, b, m = square_problem
+        cold = OpCounter()
+        ref = masked_spgemm(a, b, m, algo=algo, phases=2, counter=cold)
+        with ExecutionSession() as sess:
+            for _ in range(2):
+                warm = OpCounter()
+                got = masked_spgemm(a, b, m, algo=algo, phases=2,
+                                    counter=warm, session=sess)
+                assert np.array_equal(got.indptr, ref.indptr)
+                assert np.array_equal(got.indices, ref.indices)
+                assert np.array_equal(got.data, ref.data)
+                assert _work_fields(warm) == _work_fields(cold)
+
+
+# ----------------------------------------------------------------------
+# apps + CI smoke case
+# ----------------------------------------------------------------------
+class TestApps:
+    def test_resolve_session_contract(self):
+        assert resolve_session(False) == (None, False)
+        assert resolve_session(None, auto=False) == (None, False)
+        sess, owned = resolve_session(None, auto=True)
+        assert isinstance(sess, ExecutionSession) and owned
+        mine = ExecutionSession()
+        assert resolve_session(mine) == (mine, False)
+
+    def test_core_entry_points_accept_false_sentinel(self):
+        # session=False must work on the core paths too, not just via
+        # resolve_session in the apps
+        a = erdos_renyi(64, 64, degree=4, seed=2)
+        ref = masked_spgemm(a, a, a, algo="auto", session=None)
+        got = masked_spgemm(a, a, a, algo="auto", session=False)
+        assert np.array_equal(got.to_dense(), ref.to_dense())
+        got = masked_spgemm(a, a, a, algo="hash", session=False)
+        assert np.array_equal(got.to_dense(), ref.to_dense())
+        got = plan_and_execute(a, a, a, session=False)
+        assert np.array_equal(got.to_dense(), ref.to_dense())
+
+    def test_ktruss_sessioned_equals_sessionless(self):
+        g = rmat(7, seed=10)
+        ref = __import__("repro.apps", fromlist=["ktruss"]).ktruss(
+            g, 5, algo="auto", session=False
+        )
+        with ExecutionSession() as sess:
+            got = __import__("repro.apps", fromlist=["ktruss"]).ktruss(
+                g, 5, algo="auto", session=sess
+            )
+        assert np.array_equal(got.truss.to_dense(), ref.truss.to_dense())
+        assert got.iterations == ref.iterations
+
+    @needs_process
+    def test_bc_batch_process_backend_reuses_segments(self):
+        # the CI satellite case: a sessioned BC batch on R-MAT over the
+        # process backend must hit the segment registry and leak nothing
+        from repro.apps import betweenness_centrality
+
+        g = rmat(7, seed=11)
+        ref = betweenness_centrality(g, batch_size=16, algo="auto", seed=1,
+                                     session=False)
+        counter = OpCounter()
+        with ExecutionSession(
+            plan_defaults={"threads": 2, "backend": "process"}
+        ) as sess:
+            got = betweenness_centrality(g, batch_size=16, algo="auto",
+                                         seed=1, counter=counter, session=sess)
+            stats = sess.stats()
+        assert np.array_equal(got.centrality, ref.centrality)
+        assert stats["segments_reused"] > 0
+        assert counter.segments_reused > 0
+        assert active_segments() == ()
+
+    def test_metrics_and_report_surface_session(self, square_problem):
+        from repro.observe import metrics, report, tracing
+
+        a, b, m = square_problem
+        with ExecutionSession() as sess, tracing() as tr:
+            masked_spgemm(a, b, m, algo="auto", session=sess)
+            masked_spgemm(a, b, m, algo="auto", session=sess)
+            mx = metrics(tr, session=sess)
+            txt = report(tr, session=sess)
+        assert mx["session"]["plan_cache_hits"] >= 1
+        assert "session reuse" in txt
+        assert metrics(tr)["session"] == {}
