@@ -313,7 +313,10 @@ def plan_and_execute(
 
     With a ``session``, planning goes through the session's plan cache
     (keyed on operand structure fingerprints + planner knobs) and execution
-    reuses the session's CSC memo and shm segment registry.
+    reuses the session's CSC memo and shm segment registry.  Explicit
+    ``machine=``/``planner=`` arguments are still honoured alongside a
+    session: a forced machine partitions the plan cache, a forced foreign
+    planner plans uncached (see :meth:`ExecutionSession.plan`).
     """
     from .planner import Planner
 
@@ -323,7 +326,8 @@ def plan_and_execute(
             a, b, mask,
             complement=complement, phases=phases,
             semiring_name=getattr(semiring, "name", None),
-            counter=counter, backend=backend, **plan_kwargs,
+            counter=counter, backend=backend,
+            machine=machine, planner=planner, **plan_kwargs,
         )
         return execute(
             pl, a, b, mask,

@@ -226,15 +226,31 @@ class ExecutionSession:
         phases: Optional[int] = None,
         semiring_name: Optional[str] = None,
         counter: Optional[OpCounter] = None,
+        machine: Optional[MachineConfig] = None,
+        planner: Optional[Planner] = None,
         **plan_kwargs,
     ):
         """Plan via the session's planner, reusing a cached plan when the
         operands' structure and the forced knobs are unchanged.  Knobs
-        left ``None`` fall back to :attr:`plan_defaults`."""
+        left ``None`` fall back to :attr:`plan_defaults`.
+
+        A per-call ``machine`` override is honoured and becomes part of
+        the cache key (plans for different cost-model targets never mix);
+        a per-call ``planner`` override (other than the session's own) is
+        honoured but planned *uncached* — a foreign planner's knobs are
+        not keyable, so its plans must not shadow the session's.
+        """
         merged = dict(self.plan_defaults)
         merged.update({k: v for k, v in plan_kwargs.items() if v is not None})
+        if planner is not None and planner is not self.planner:
+            return planner.plan(
+                a, b, mask, complement=complement, phases=phases, **merged
+            )
+        target = self.planner
+        if machine is not None and machine != self.machine:
+            target = Planner(machine)
         if not self.caching:
-            return self.planner.plan(
+            return target.plan(
                 a, b, mask, complement=complement, phases=phases, **merged
             )
         key = (
@@ -244,6 +260,7 @@ class ExecutionSession:
             bool(complement),
             phases,
             semiring_name,
+            target.machine,
             tuple(sorted(merged.items())),
         )
         pl = self._plans.get(key)
@@ -253,7 +270,7 @@ class ExecutionSession:
             if counter is not None:
                 counter.plan_cache_hits += 1
             return pl
-        pl = self.planner.plan(
+        pl = target.plan(
             a, b, mask, complement=complement, phases=phases, **merged
         )
         self.plan_cache_misses += 1

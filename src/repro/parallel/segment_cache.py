@@ -24,9 +24,12 @@ Derived operands (the CSC transpose the inner-product kernel wants) are
 cached under the *base* operand's fingerprint, so a constant ``B`` keeps
 its transpose segments alive too.
 
-Entries touched since :meth:`SegmentCache.begin_call` are pinned — the
-budget can never evict a segment another partition task of the in-flight
-call still references.  :meth:`SegmentCache.close` releases everything;
+Entries touched since :meth:`SegmentCache.begin_call` are pinned — a
+pinned segment is never evicted, rewritten in place, or dropped while the
+in-flight call references it, so a later operand of the *same* call that
+shares a structure digest but carries different values (``mask =
+a.pattern()`` in the same product) publishes fresh segments instead of
+clobbering the earlier operand's data.  :meth:`SegmentCache.close` releases everything;
 after it, :func:`repro.parallel.shm.active_segments` no longer lists any
 segment this cache owned.
 """
@@ -131,7 +134,11 @@ class SegmentCache:
             return ent.spec
 
         old_key = self._by_structure.get(struct_key)
-        if old_key is not None:
+        # A pinned entry was already served to the in-flight call: workers
+        # will read it, so it can neither be rewritten in place (a second
+        # operand sharing the structure — mask = a.pattern() — would clobber
+        # the first operand's values) nor dropped.  Publish fresh instead.
+        if old_key is not None and old_key not in self._pinned:
             ent = self._entries.get(old_key)
             if (
                 ent is not None

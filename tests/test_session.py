@@ -197,6 +197,48 @@ class TestPlanCache:
         sess.plan(graphs[0], graphs[0], graphs[0])  # evicted: misses again
         assert sess.plan_cache_misses == 4
 
+    def test_machine_override_partitions_cache(self, square_problem):
+        # regression: machine= was silently ignored alongside a caching
+        # session; it must be honoured and key the cache
+        from repro.machine import KNL
+
+        a, b, m = square_problem
+        with ExecutionSession() as sess:
+            base = sess.plan(a, b, m)
+            knl = sess.plan(a, b, m, machine=KNL)
+            assert base.machine == "haswell"
+            assert knl.machine == "knl"
+            assert sess.plan_cache_misses == 2
+            assert sess.plan(a, b, m, machine=KNL) is knl
+            assert sess.plan(a, b, m) is base
+            assert sess.plan_cache_hits == 2
+
+    def test_foreign_planner_honoured_uncached(self, square_problem):
+        from repro.engine import Planner
+        from repro.machine import KNL
+
+        a, b, m = square_problem
+        with ExecutionSession() as sess:
+            pl = sess.plan(a, b, m, planner=Planner(KNL))
+            assert pl.machine == "knl"
+            assert sess.plan_cache_hits == 0
+            assert sess.plan_cache_misses == 0
+
+    def test_plan_and_execute_threads_machine_into_session(self,
+                                                           square_problem):
+        from repro.machine import KNL
+
+        a, b, m = square_problem
+        ref = plan_and_execute(a, b, m, machine=KNL, backend="serial")
+        with ExecutionSession() as sess:
+            got = plan_and_execute(a, b, m, machine=KNL, backend="serial",
+                                   session=sess)
+            (cached,) = sess._plans.values()
+            assert cached.machine == "knl"
+        assert np.array_equal(got.indptr, ref.indptr)
+        assert np.array_equal(got.indices, ref.indices)
+        assert np.array_equal(got.data, ref.data)
+
     def test_caching_false_bypasses(self, square_problem):
         a, b, m = square_problem
         sess = ExecutionSession(caching=False)
@@ -321,6 +363,31 @@ class TestSegmentReuse:
             _, counter = _process_run(g, g, g, sess)
             assert counter.segments_reused >= 2
             assert sess.segment_cache.stats()["segments_published"] == 1
+
+    def test_same_structure_different_values_in_one_call(self):
+        # regression: mask = a.pattern() shares A's structure digest but
+        # carries all-ones values — the values-only rewrite must never
+        # touch A's pinned segment mid-call, or workers read the mask's
+        # values as A's
+        a = erdos_renyi(64, 64, 4, seed=1, values="uniform")
+        b = erdos_renyi(64, 64, 4, seed=2, values="uniform")
+        m = a.pattern()
+        serial = run_partitioned(
+            a, b, m, algo="msa", parts=block_partition(64, 2),
+            backend="serial",
+        )
+        with ExecutionSession() as sess:
+            got, _ = _process_run(a, b, m, sess)
+            st = sess.segment_cache.stats()
+            assert st["values_republished"] == 0
+            assert st["segments_published"] == 3
+            assert np.array_equal(got.indptr, serial.indptr)
+            assert np.array_equal(got.indices, serial.indices)
+            assert np.array_equal(got.data, serial.data)
+            # both same-structure entries stay cached and full-hit next call
+            got2, c2 = _process_run(a, b, m, sess)
+            assert c2.segments_reused == 3
+            assert np.array_equal(got2.data, serial.data)
 
     def test_close_releases_segments(self):
         g = rmat(6, seed=3)
