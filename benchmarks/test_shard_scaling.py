@@ -1,0 +1,132 @@
+"""Benchmark — sharded vs unsharded masked SpGEMM wall-clock scaling.
+
+The shard grid (``docs/sharding.md``) tiles the R-MAT triangle-counting
+SpGEMM (``L .* (L @ L)``, the paper's TC workload) into DCSR row blocks ×
+DCSC column panels and dispatches one task per nonempty mask cell.  This
+bench runs the same TC product sharded and unsharded at 1/2/4/8 workers
+on the thread and process backends and records the results as JSON in
+``benchmarks/results/``.
+
+Honesty policy (same as test_backend_scaling.py): this container may be
+single-core, where no decomposition can win in wall clock.  Timings are
+recorded for inspection with only sanity bounds enforced; bitwise
+equality between the sharded and unsharded outputs is asserted always —
+that equivalence is the tentpole contract, the speed is the machine's
+business.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import masked_spgemm
+from repro.engine import plan
+from repro.engine.executor import execute
+from repro.graphs import rmat
+from repro.parallel import active_segments, shutdown_pool
+from repro.semiring import PLUS_PAIR
+
+WORKER_COUNTS = (1, 2, 4, 8)
+BACKENDS = ("thread", "process")
+GRID = (4, 4)
+
+
+def _tc_operands(scale=10, seed=9):
+    """Lower-triangular R-MAT adjacency: the TC masked-SpGEMM operand."""
+    return rmat(scale, seed=seed).pattern().tril(-1)
+
+
+def _timed(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_shard_scaling_rmat_tc(benchmark, results_dir, save_result):
+    low = _tc_operands()
+
+    def spgemm(backend, workers, shards):
+        pl = plan(low, low, low, algo="msa", threads=workers, shards=shards)
+        return execute(
+            pl, low, low, low, backend=backend, semiring=PLUS_PAIR
+        )
+
+    def run():
+        # warm the process pool once so spawn cost is not charged to the
+        # per-call numbers (the persistent pool amortises it in real use)
+        t0 = time.perf_counter()
+        spgemm("process", max(WORKER_COUNTS), GRID)
+        spawn_seconds = time.perf_counter() - t0
+        times = {}
+        for backend in BACKENDS:
+            for workers in WORKER_COUNTS:
+                times[(backend, workers, "unsharded")] = _timed(
+                    lambda: spgemm(backend, workers, None)
+                )
+                times[(backend, workers, "sharded")] = _timed(
+                    lambda: spgemm(backend, workers, GRID)
+                )
+        return times, spawn_seconds
+
+    times, spawn_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # --- bitwise equivalence: sharded == unsharded on every backend ---
+    ref = masked_spgemm(low, low, low, algo="msa", semiring=PLUS_PAIR)
+    for backend in BACKENDS:
+        got = spgemm(backend, 2, GRID)
+        assert got.shape == ref.shape, backend
+        assert np.array_equal(got.indptr, ref.indptr), backend
+        assert np.array_equal(got.indices, ref.indices), backend
+        assert np.array_equal(got.data, ref.data), backend
+
+    # the pruning story in numbers: how many grid cells actually dispatch
+    grid_plan = plan(low, low, low, algo="msa", shards=GRID)
+    census = [n for n in grid_plan.notes if "cells carry mask entries" in n]
+
+    cpus = os.cpu_count() or 1
+    base = times[("thread", 1, "unsharded")]
+    record = {
+        "workload": "rmat scale=10 triangle-count spgemm (msa, plus_pair)",
+        "nnz": int(low.nnz),
+        "grid": list(GRID),
+        "cell_census": census[0] if census else "",
+        "cpu_count": cpus,
+        "process_pool_spawn_seconds": spawn_seconds,
+        "runs": [
+            {
+                "backend": backend,
+                "workers": workers,
+                "mode": mode,
+                "seconds": t,
+                "speedup_vs_1thread": base / t,
+            }
+            for (backend, workers, mode), t in sorted(times.items())
+        ],
+    }
+    lines = [f"Shard-grid scaling, R-MAT TC, grid {GRID} (cpu_count={cpus}):"]
+    if census:
+        lines.append(f"  {census[0]}")
+    for (backend, workers, mode), t in sorted(times.items()):
+        lines.append(
+            f"  {backend:>7s} x{workers} {mode:>9s}: {t * 1e3:8.1f} ms  "
+            f"({base / t:4.2f}x vs 1-thread unsharded)"
+        )
+    save_result("\n".join(lines), data=record,
+                title="sharded vs unsharded masked SpGEMM scaling")
+
+    # sanity bound: sharding may cost (it exists for memory/locality), but
+    # must never catastrophically regress the same backend/worker count
+    for backend in BACKENDS:
+        for workers in WORKER_COUNTS:
+            s = times[(backend, workers, "sharded")]
+            u = times[(backend, workers, "unsharded")]
+            assert s < 10.0 * u + 0.05, (backend, workers, s, u)
+
+    shutdown_pool()
+    assert active_segments() == ()

@@ -90,6 +90,7 @@ def betweenness_centrality(
     seed: int = 0,
     call_log: Optional[list] = None,
     backend: Optional[str] = None,
+    shards=None,
     session=None,
 ) -> BetweennessResult:
     """Betweenness centrality restricted to a batch of source vertices.
@@ -99,7 +100,9 @@ def betweenness_centrality(
     for undirected graphs networkx halves the scores).
 
     ``backend`` (``algo="auto"`` only) forces the execution backend of the
-    per-level masked SpGEMMs.  ``session`` controls cross-call caching —
+    per-level masked SpGEMMs.  ``shards`` passes the shard-grid knob
+    through to every level's masked SpGEMM (see ``docs/sharding.md``).
+    ``session`` controls cross-call caching —
     an :class:`~repro.engine.ExecutionSession`, ``None`` (default: open a
     loop-local one for ``algo="auto"``), or ``False`` to disable.  BC is
     the paper's best case for reuse: ``A`` and ``A^T`` are constant across
@@ -123,7 +126,9 @@ def betweenness_centrality(
     sources = np.asarray(list(sources), dtype=np.int64)
     s = sources.shape[0]
     counter = counter if counter is not None else OpCounter()
-    session, owned = resolve_session(session, auto=(algo == "auto"))
+    session, owned = resolve_session(
+        session, auto=(algo == "auto" or shards is not None)
+    )
     # stage spans: per-step forward (complemented mask) / backward (plain
     # mask) breakdowns appear in trace exports; timed_span also feeds the
     # result's *_seconds fields when tracing is off
@@ -131,7 +136,7 @@ def betweenness_centrality(
         return _betweenness_body(
             a, sources, s, algo=algo, impl=impl, phases=phases,
             counter=counter, call_log=call_log, backend=backend,
-            session=session,
+            shards=shards, session=session,
         )
     finally:
         if owned and session is not None:
@@ -149,6 +154,7 @@ def _betweenness_body(
     counter: OpCounter,
     call_log: Optional[list],
     backend: Optional[str],
+    shards,
     session,
 ) -> BetweennessResult:
     n = a.nrows
@@ -178,8 +184,10 @@ def _betweenness_body(
                 frontier = masked_spgemm(
                     frontier, a, numsp, algo=algo, impl=impl, phases=phases,
                     complement=True, semiring=PLUS_TIMES, counter=counter,
-                    backend=backend if algo == "auto" else None,
-                    session=session,
+                    backend=backend
+                    if (algo == "auto" or shards is not None)
+                    else None,
+                    shards=shards, session=session,
                 )
             spgemm_time += sp_f.seconds
             forward_time += sp_f.seconds
@@ -214,8 +222,10 @@ def _betweenness_body(
                 t_d = masked_spgemm(
                     w, a_t, frontiers[d - 1], algo=algo, impl=impl,
                     phases=phases, semiring=PLUS_TIMES, counter=counter,
-                    backend=backend if algo == "auto" else None,
-                    session=session,
+                    backend=backend
+                    if (algo == "auto" or shards is not None)
+                    else None,
+                    shards=shards, session=session,
                 )
             spgemm_time += sp_b.seconds
             backward_time += sp_b.seconds

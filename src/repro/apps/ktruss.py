@@ -56,6 +56,7 @@ def ktruss(
     counter: Optional[OpCounter] = None,
     call_log: Optional[list] = None,
     backend: Optional[str] = None,
+    shards=None,
     session=None,
 ) -> KTrussResult:
     """Compute the ``k``-truss of the undirected graph ``a``.
@@ -70,6 +71,10 @@ def ktruss(
     recorded run.  ``backend`` (``algo="auto"`` only) forces the execution
     backend of each iteration's masked SpGEMM — iterative apps like this
     are exactly where the persistent process pool amortises its spawn cost.
+    ``shards`` is passed through to every iteration's masked SpGEMM (see
+    ``docs/sharding.md``); with a session and the process backend, the
+    final fixed-point iteration re-multiplies an unchanged adjacency, so
+    its shard segments are served from the session's registry.
 
     ``session`` controls cross-call caching: pass an
     :class:`~repro.engine.ExecutionSession` to share one across apps,
@@ -82,7 +87,11 @@ def ktruss(
     if k < 3:
         raise ValueError("k must be >= 3")
     counter = counter if counter is not None else OpCounter()
-    session, owned = resolve_session(session, auto=(algo == "auto"))
+    # sharded runs route through the engine even with a forced algo, so
+    # they benefit from (and default to) a loop-local session as well
+    session, owned = resolve_session(
+        session, auto=(algo == "auto" or shards is not None)
+    )
     # per-iteration spans (edges shrink as pruning proceeds — the paper's
     # sparsifying-mask observation) with the masked SpGEMM nested inside;
     # timed_span keeps the result's second fields populated untraced
@@ -111,7 +120,10 @@ def ktruss(
                         s = masked_spgemm(
                             cur, cur, cur, algo=algo, impl=impl, phases=phases,
                             semiring=PLUS_PAIR, counter=counter,
-                            backend=backend if algo == "auto" else None,
+                            backend=backend
+                            if (algo == "auto" or shards is not None)
+                            else None,
+                            shards=shards,
                             session=session,
                         )
                     spgemm_time += sp_mm.seconds

@@ -213,21 +213,32 @@ def session_app_records(
     the session's cache telemetry under ``"session"`` so the regression
     gate (:mod:`repro.bench.regress`) can tell "the cache stopped hitting"
     apart from "the kernels got slower".
+
+    ``tc-sharded`` is the shard-grid twin of the TC workload
+    (``docs/sharding.md``): the same triangle-count masked SpGEMM run on a
+    2x2 shard grid over the process backend, sessioned so the repeats
+    certify per-shard segment reuse in the cache telemetry.
     """
     from ..apps import betweenness_centrality, ktruss
+    from ..core import masked_spgemm
     from ..engine import ExecutionSession
 
     g = rmat(rmat_scale, seed=seed + rmat_scale)
+    low = g.pattern().tril(-1)
     apps = (
-        ("ktruss-session",
+        ("ktruss-session", "auto",
          lambda s, c: ktruss(g, k, algo="auto", counter=c, session=s)),
-        ("bc-session",
+        ("bc-session", "auto",
          lambda s, c: betweenness_centrality(
              g, batch_size=bc_batch, algo="auto", seed=1, counter=c,
              session=s)),
+        ("tc-sharded", "process",
+         lambda s, c: masked_spgemm(
+             low, low, low, algo="msa", shards=(2, 2), backend="process",
+             semiring=PLUS_PAIR, counter=c, session=s)),
     )
     records: List[dict] = []
-    for name, run_app in apps:
+    for name, backend, run_app in apps:
         samples: List[float] = []
         with ExecutionSession() as session:
             for _ in range(max(1, repeats)):
@@ -243,7 +254,7 @@ def session_app_records(
         records.append({
             "scheme": name,
             "case": f"rmat-{rmat_scale}",
-            "backend": "auto",
+            "backend": backend,
             "threads": 0,
             "repeats": len(samples),
             "median_s": float(np.median(arr)),

@@ -113,6 +113,7 @@ def masked_spgemm(
     orientation: str = "row",
     machine: Optional[MachineConfig] = None,
     backend: Optional[str] = None,
+    shards=None,
     session=None,
 ) -> CSR:
     """Compute ``C = M .* (A @ B)`` (``!M`` with ``complement=True``).
@@ -153,6 +154,15 @@ def masked_spgemm(
         cost model choose (``serial`` | ``thread`` | ``process``), a string
         forces it.  Explicit algorithms run in-process; use
         :func:`repro.parallel.parallel_masked_spgemm` to parallelise them.
+    shards:
+        Shard-grid knob (see ``docs/sharding.md``): ``None`` (default)
+        runs unsharded; ``"auto"`` lets the planner shard when the operand
+        working set exceeds the machine's ``shard_memory_budget_bytes``;
+        ``(row_blocks, col_panels)`` forces an evenly-spaced grid; an
+        explicit :class:`~repro.engine.ShardGrid` is used verbatim.  Any
+        non-``None`` value routes execution through the engine (with the
+        given ``algo`` forced, or the planner's choice for ``"auto"``);
+        results are bit-for-bit identical to the unsharded path.
     session:
         Optional :class:`repro.engine.ExecutionSession` holding cross-call
         caches for iterative workloads: plan cache, CSC transpose memo,
@@ -164,6 +174,12 @@ def masked_spgemm(
     if orientation not in ("row", "column"):
         raise ValueError("orientation must be 'row' or 'column'")
     if orientation == "column":
+        shards_t = shards
+        if isinstance(shards, tuple):
+            shards_t = (shards[1], shards[0])
+        elif shards is not None and not isinstance(shards, str):
+            # an explicit ShardGrid is in output coordinates: transpose it
+            shards_t = type(shards)(shards.col_bounds, shards.row_bounds)
         ct = masked_spgemm(
             b.transpose(),
             a.transpose(),
@@ -177,6 +193,7 @@ def masked_spgemm(
             orientation="row",
             machine=machine,
             backend=backend,
+            shards=shards_t,
             session=session,
         )
         return ct.transpose()
@@ -199,9 +216,10 @@ def masked_spgemm(
         raise ValueError("phases must be 1 or 2")
     if impl not in ("fast", "reference", "auto"):
         raise ValueError("impl must be 'fast', 'reference' or 'auto'")
-    if key == "auto":
+    if key == "auto" or shards is not None:
         # route through the execution engine: the planner picks per-row-band
         # algorithms, phases, partition and thread count from the cost model
+        # (a forced algo with shards= keeps the algo and shards the dispatch)
         from ..engine import plan_and_execute
 
         return plan_and_execute(
@@ -217,6 +235,8 @@ def masked_spgemm(
             backend=backend,
             b_csc=b_csc,
             session=session,
+            algo=None if key == "auto" else key,
+            shards=shards,
         )
     phases = 1 if phases is None else phases
     session = session or None

@@ -20,13 +20,14 @@ multi-backend) plugs in here.
 """
 
 from .executor import execute, plan_and_execute
-from .plan import ExecutionPlan, RowBand
+from .plan import ExecutionPlan, RowBand, ShardGrid
 from .planner import PLAN_CANDIDATES, Planner, plan
 from .session import ExecutionSession, Fingerprint, fingerprint_csr, resolve_session
 
 __all__ = [
     "ExecutionPlan",
     "RowBand",
+    "ShardGrid",
     "Planner",
     "plan",
     "PLAN_CANDIDATES",

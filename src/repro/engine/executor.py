@@ -24,6 +24,7 @@ from ..core.masked_spgemm import masked_spgemm
 from ..machine import HASWELL, MachineConfig, OpCounter, flops_per_row
 from ..observe import tracer as _obs
 from ..parallel.executor import normalize_backend, row_slice, run_partitioned
+from ..parallel.shards import run_sharded
 from ..parallel.partition import (
     balanced_partition,
     block_partition,
@@ -233,6 +234,7 @@ def execute(
     if (
         b_csc is None
         and plan.panel_width is None
+        and plan.shards is None
         and any(band.algo == "inner" for band in plan.bands)
     ):
         b_csc = session.csc_of(b) if session is not None else CSC.from_csr(b)
@@ -247,6 +249,14 @@ def execute(
         if tr is not None else _obs.NULL_SPAN
     )
     with exec_cm:
+        if plan.shards is not None:
+            # the sharded dispatch path: DCSR/DCSC shard cells, mask-pruned
+            # work list, per-shard segment reuse under a session
+            return run_sharded(
+                plan, a, b, mask,
+                semiring=semiring, impl=impl, counter=counter,
+                backend=backend, session=session,
+            )
         band_results: List[CSR] = []
         for i, band in enumerate(plan.bands):
             if band.nrows == 0:

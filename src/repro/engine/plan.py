@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["RowBand", "ExecutionPlan"]
+__all__ = ["RowBand", "ShardGrid", "ExecutionPlan"]
 
 #: algorithms a plan may reference (kept in sync with repro.core by tests)
 _KNOWN_ALGOS = ("inner", "msa", "hash", "mca", "heap", "heapdot", "esc")
@@ -67,6 +67,76 @@ class RowBand:
         return int(r[-1]) - int(r[0]) + 1 == r.size and bool(np.all(np.diff(r) == 1))
 
 
+@dataclass(frozen=True)
+class ShardGrid:
+    """A 2-D shard decomposition of the output: row blocks x column panels.
+
+    ``row_bounds``/``col_bounds`` are monotone boundary tuples spanning
+    ``[0, nrows]`` / ``[0, ncols]``; cell ``(i, j)`` covers output rows
+    ``[row_bounds[i], row_bounds[i+1])`` and columns
+    ``[col_bounds[j], col_bounds[j+1])``.  The executor materialises each
+    cell's operands doubly-compressed (DCSR row blocks of A, DCSC column
+    panels of B, DCSR mask cells) and prunes any cell whose mask cell is
+    empty before dispatch — the masked analogue of hypersparse pruning.
+    Bounds are plain int tuples so a grid is hashable (plan-cache keys)
+    and JSON-able (:meth:`as_dict`).
+    """
+
+    row_bounds: Tuple[int, ...]
+    col_bounds: Tuple[int, ...]
+
+    @classmethod
+    def regular(cls, shape, nrb: int, ncp: int) -> "ShardGrid":
+        """An evenly-spaced ``nrb x ncp`` grid over ``shape``."""
+        rb = np.linspace(0, int(shape[0]), int(nrb) + 1).astype(np.int64)
+        cb = np.linspace(0, int(shape[1]), int(ncp) + 1).astype(np.int64)
+        return cls(tuple(int(x) for x in rb), tuple(int(x) for x in cb))
+
+    @property
+    def nrb(self) -> int:
+        """Number of row blocks."""
+        return len(self.row_bounds) - 1
+
+    @property
+    def ncp(self) -> int:
+        """Number of column panels."""
+        return len(self.col_bounds) - 1
+
+    @property
+    def ncells(self) -> int:
+        return self.nrb * self.ncp
+
+    def row_blocks(self) -> List[Tuple[int, int]]:
+        return [
+            (self.row_bounds[i], self.row_bounds[i + 1]) for i in range(self.nrb)
+        ]
+
+    def col_panels(self) -> List[Tuple[int, int]]:
+        return [
+            (self.col_bounds[j], self.col_bounds[j + 1]) for j in range(self.ncp)
+        ]
+
+    def validate(self, shape) -> "ShardGrid":
+        for bounds, dim, what in (
+            (self.row_bounds, int(shape[0]), "row_bounds"),
+            (self.col_bounds, int(shape[1]), "col_bounds"),
+        ):
+            if len(bounds) < 2:
+                raise ValueError(f"shard {what} needs at least one block")
+            if bounds[0] != 0 or bounds[-1] != dim:
+                raise ValueError(f"shard {what} must span [0, {dim}]")
+            if any(b > c for b, c in zip(bounds, bounds[1:])):
+                raise ValueError(f"shard {what} must be non-decreasing")
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "grid": [self.nrb, self.ncp],
+            "row_bounds": list(self.row_bounds),
+            "col_bounds": list(self.col_bounds),
+        }
+
+
 @dataclass
 class ExecutionPlan:
     """Every decision needed to run ``C = M .* (A @ B)`` (or ``!M``).
@@ -84,6 +154,7 @@ class ExecutionPlan:
     partition: str = "balanced"  #: "block" | "cyclic" | "balanced"
     backend: str = "thread"  #: "serial" | "thread" | "process"
     panel_width: Optional[int] = None  #: column-panel width, or None
+    shards: Optional[ShardGrid] = None  #: 2-D shard grid, or None (unsharded)
     machine: str = "haswell"  #: name of the MachineConfig the plan targets
     mode: str = "auto"  #: "auto" | "ratio" | "forced"
     estimates: Dict[str, float] = field(default_factory=dict)
@@ -124,6 +195,15 @@ class ExecutionPlan:
             raise ValueError("backend must be 'serial', 'thread' or 'process'")
         if self.panel_width is not None and self.panel_width <= 0:
             raise ValueError("panel_width must be positive")
+        if self.shards is not None:
+            if not isinstance(self.shards, ShardGrid):
+                raise ValueError("shards must be a ShardGrid or None")
+            if self.panel_width is not None:
+                raise ValueError(
+                    "panel_width and shards are mutually exclusive: the shard "
+                    "grid's column panels already bound the working set"
+                )
+            self.shards.validate(self.shape)
         counts = np.zeros(nrows, dtype=np.int64)
         for band in self.bands:
             if band.algo not in _KNOWN_ALGOS:
@@ -154,6 +234,7 @@ class ExecutionPlan:
             "partition": self.partition,
             "backend": self.backend,
             "panel_width": self.panel_width,
+            "shards": self.shards.as_dict() if self.shards is not None else None,
             "machine": self.machine,
             "mode": self.mode,
             "bands": [
@@ -184,6 +265,12 @@ class ExecutionPlan:
                 else "no column panels"
             ),
         ]
+        if self.shards is not None:
+            lines.append(
+                f"  shard grid {self.shards.nrb}x{self.shards.ncp} "
+                "(DCSR row blocks x DCSC column panels; empty mask cells "
+                "pruned before dispatch)"
+            )
         for i, band in enumerate(self.bands):
             pct = 100.0 * band.nrows / nrows
             cyc = f", ~{band.est_cycles:.3g} cycles" if band.est_cycles else ""

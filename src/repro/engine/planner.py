@@ -32,7 +32,7 @@ from ..core.hybrid import classify_rows
 from ..core.masked_spgemm import ALGO_LABELS, ALL_ALGOS, supports_complement
 from ..machine import HASWELL, MachineConfig, RowCostModel, total_flops
 from ..parallel.executor import normalize_backend
-from .plan import ExecutionPlan, RowBand
+from .plan import ExecutionPlan, RowBand, ShardGrid
 
 __all__ = ["Planner", "plan", "PLAN_CANDIDATES"]
 
@@ -114,6 +114,7 @@ class Planner:
         backend: Optional[str] = None,
         panel_width: Optional[int] = None,
         memory_budget_bytes: Optional[int] = None,
+        shards=None,
     ) -> ExecutionPlan:
         """Build a plan for ``C = M .* (A @ B)`` (``!M`` with complement).
 
@@ -124,6 +125,15 @@ class Planner:
         backend heuristic picks ``"process"`` (shared-memory worker pool)
         only when the modeled work amortises the pool's dispatch overhead
         (:attr:`MachineConfig.process_crossover_cycles`).
+
+        ``shards`` turns on the doubly-compressed shard grid (row blocks of
+        A x column panels of B/M; see ``docs/sharding.md``): ``None`` keeps
+        the plan unsharded, an ``(nrb, ncp)`` tuple forces the grid shape,
+        ``"auto"`` shards exactly when the operands' working set exceeds
+        :attr:`MachineConfig.shard_memory_budget_bytes`, and an explicit
+        :class:`~repro.engine.plan.ShardGrid` is honoured verbatim.  A
+        sharded plan is mutually exclusive with ``panel_width`` (its column
+        panels already bound the working set).
         """
         if a.ncols != b.nrows:
             raise ValueError(
@@ -176,7 +186,21 @@ class Planner:
             backend = self._pick_backend(a, b, bands, threads, notes)
         else:
             backend = normalize_backend(backend)
-        if panel_width is None and memory_budget_bytes is not None:
+        shard_grid = (
+            self._pick_shards(a, b, mask, shards, complement, notes)
+            if shards is not None
+            else None
+        )
+        if shard_grid is not None and panel_width is not None:
+            raise ValueError(
+                "panel_width and shards are mutually exclusive: the shard "
+                "grid's column panels already bound the working set"
+            )
+        if (
+            panel_width is None
+            and memory_budget_bytes is not None
+            and shard_grid is None
+        ):
             panel_width = self._pick_panel_width(b, mask, memory_budget_bytes, notes)
         if mask.nnz == 0 and not complement:
             notes.append("mask is empty: the output is empty regardless of algorithm")
@@ -190,6 +214,7 @@ class Planner:
             partition=partition,
             backend=backend,
             panel_width=panel_width,
+            shards=shard_grid,
             machine=self.machine.name,
             mode=mode,
             estimates=estimates,
@@ -362,6 +387,68 @@ class Planner:
             return "balanced"
         return "block"
 
+    def _pick_shards(self, a, b, mask, shards, complement: bool, notes):
+        """Resolve the ``shards`` knob into a :class:`ShardGrid` (or None).
+
+        ``"auto"`` shards exactly when the operands' index+value working set
+        exceeds :attr:`MachineConfig.shard_memory_budget_bytes`, sizing the
+        grid so each cell's share of the working set fits the budget (rows
+        and columns split as close to square as the factor allows).  A
+        resolved grid gets a census note — how many cells actually carry
+        mask entries — because those are the only cells the executor will
+        dispatch (plain mask; a complemented mask is dense precisely where
+        the mask is empty, so nothing prunes).
+        """
+        nrows, ncols = a.nrows, b.ncols
+        grid: Optional[ShardGrid]
+        if isinstance(shards, ShardGrid):
+            grid = shards.validate((nrows, ncols))
+        elif isinstance(shards, str):
+            if shards.lower() != "auto":
+                raise ValueError(
+                    f"shards must be 'auto', an (nrb, ncp) tuple or a "
+                    f"ShardGrid, got {shards!r}"
+                )
+            budget = int(self.machine.shard_memory_budget_bytes)
+            footprint = 2 * _WORD * (a.nnz + b.nnz + mask.nnz)
+            if budget <= 0 or footprint <= budget or nrows == 0 or ncols == 0:
+                notes.append(
+                    f"sharding auto: working set ~{footprint} B fits the "
+                    f"{budget} B shard budget; unsharded"
+                )
+                return None
+            factor = -(-footprint // budget)  # ceil
+            nrb = min(nrows, int(np.ceil(np.sqrt(factor))))
+            ncp = min(ncols, int(-(-factor // max(nrb, 1))))
+            if nrb * ncp <= 1:
+                return None
+            grid = ShardGrid.regular((nrows, ncols), nrb, ncp)
+            notes.append(
+                f"sharding auto: working set ~{footprint} B > budget "
+                f"{budget} B; grid {nrb}x{ncp}"
+            )
+        else:
+            nrb, ncp = shards
+            nrb = max(1, min(int(nrb), max(1, nrows)))
+            ncp = max(1, min(int(ncp), max(1, ncols)))
+            if nrb * ncp <= 1:
+                notes.append("shard grid 1x1 degenerates to the unsharded path")
+                return None
+            grid = ShardGrid.regular((nrows, ncols), nrb, ncp)
+        if complement:
+            notes.append(
+                f"complemented mask: all {grid.ncells} shard cells run "
+                "(empty mask cells are dense under the complement)"
+            )
+        else:
+            nonempty = _count_nonempty_cells(mask, grid)
+            notes.append(
+                f"shard grid {grid.nrb}x{grid.ncp}: {nonempty}/{grid.ncells} "
+                f"cells carry mask entries ({grid.ncells - nonempty} pruned "
+                "before dispatch)"
+            )
+        return grid
+
     def _pick_panel_width(self, b, mask, budget_bytes: int, notes):
         if budget_bytes <= 0:
             raise ValueError("memory_budget_bytes must be positive")
@@ -375,6 +462,18 @@ class Planner:
             f"(working set ~{footprint} B > budget {budget_bytes} B)"
         )
         return width
+
+
+def _count_nonempty_cells(mask, grid: ShardGrid) -> int:
+    """How many shard cells carry at least one mask entry (one O(nnz) pass)."""
+    if mask.nnz == 0:
+        return 0
+    rb = np.asarray(grid.row_bounds, dtype=np.int64)
+    cb = np.asarray(grid.col_bounds, dtype=np.int64)
+    rows = np.repeat(np.arange(mask.nrows, dtype=np.int64), mask.row_nnz())
+    ri = np.searchsorted(rb, rows, side="right") - 1
+    ci = np.searchsorted(cb, mask.indices, side="right") - 1
+    return int(np.unique(ri * grid.ncp + ci).size)
 
 
 def plan(a, b, mask, *, machine: MachineConfig = HASWELL, **kwargs) -> ExecutionPlan:

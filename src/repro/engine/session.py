@@ -53,7 +53,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..machine import HASWELL, MachineConfig, OpCounter
-from ..sparse import CSC, CSR
+from ..sparse import CSC, CSR, DCSC, DCSR
 from .planner import Planner
 
 __all__ = [
@@ -173,6 +173,7 @@ class ExecutionSession:
         self._fps: "OrderedDict[int, tuple]" = OrderedDict()
         self._plans: "OrderedDict[tuple, object]" = OrderedDict()
         self._cscs: "OrderedDict[tuple, CSC]" = OrderedDict()
+        self._dforms: "OrderedDict[tuple, object]" = OrderedDict()
         self._bounds: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._segments = None  # lazy SegmentCache
         # reuse telemetry
@@ -180,6 +181,8 @@ class ExecutionSession:
         self.plan_cache_misses = 0
         self.csc_cache_hits = 0
         self.csc_cache_misses = 0
+        self.shard_form_hits = 0
+        self.shard_form_misses = 0
         self.bound_cache_hits = 0
         self.bound_cache_misses = 0
         self.fingerprint_digests = 0
@@ -310,6 +313,37 @@ class ExecutionSession:
             self._cscs.popitem(last=False)
         return csc
 
+    # -- doubly-compressed forms (sharded execution) -------------------
+    def dcsr_of(self, mat: CSR, fp: Optional[Fingerprint] = None) -> DCSR:
+        """``DCSR.from_csr(mat)``, compressing at most once per content.
+
+        The sharded executor's A-side source form: row blocks slice out of
+        it in ``O(log nzr + block nnz)``, so an iterative app compresses
+        its (unchanged) operand once per session, not once per call."""
+        return self._dform("dcsr", DCSR.from_csr, mat, fp)
+
+    def dcsc_of(self, mat: CSR, fp: Optional[Fingerprint] = None) -> DCSC:
+        """``DCSC.from_csr(mat)`` (a transpose + compress), memoised per
+        content — the sharded executor's B-side source form."""
+        return self._dform("dcsc", DCSC.from_csr, mat, fp)
+
+    def _dform(self, kind: str, build, mat: CSR, fp):
+        if not self.caching:
+            return build(mat)
+        fp = self.fingerprint(mat) if fp is None else fp
+        key = (kind,) + fp.key
+        hit = self._dforms.get(key)
+        if hit is not None:
+            self._dforms.move_to_end(key)
+            self.shard_form_hits += 1
+            return hit
+        form = build(mat)
+        self.shard_form_misses += 1
+        self._dforms[key] = form
+        while len(self._dforms) > self._csc_cache_size:
+            self._dforms.popitem(last=False)
+        return form
+
     # -- symbolic bounds -----------------------------------------------
     def one_phase_bound(self, a: CSR, b: CSR, mask: CSR, *, complement: bool):
         """Cached :func:`repro.core.symbolic.one_phase_bound` (pure
@@ -402,6 +436,8 @@ class ExecutionSession:
             "plan_cache_misses": self.plan_cache_misses,
             "csc_cache_hits": self.csc_cache_hits,
             "csc_cache_misses": self.csc_cache_misses,
+            "shard_form_hits": self.shard_form_hits,
+            "shard_form_misses": self.shard_form_misses,
             "bound_cache_hits": self.bound_cache_hits,
             "bound_cache_misses": self.bound_cache_misses,
             "fingerprint_digests": self.fingerprint_digests,
@@ -436,6 +472,7 @@ class ExecutionSession:
         self._plans.clear()
         self._fps.clear()
         self._cscs.clear()
+        self._dforms.clear()
         self._bounds.clear()
 
     def __enter__(self) -> "ExecutionSession":

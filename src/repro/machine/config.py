@@ -58,6 +58,12 @@ class MachineConfig:
     #: works; recalibrate with repro.machine.calibrate_process_crossover to
     #: fit the host actually running the library.
     process_crossover_cycles: float = 2.0e6
+    #: operand working-set bytes above which ``shards="auto"`` splits the
+    #: problem into a doubly-compressed shard grid (row blocks of A x
+    #: column panels of B/M); below it the auto path stays unsharded.  The
+    #: default is generous next to CI-sized graphs — sharding is opt-in
+    #: until operands genuinely outgrow one node's comfortable footprint.
+    shard_memory_budget_bytes: int = 256 << 20
 
     def seconds(self, cycles: float) -> float:
         """Convert modeled cycles to seconds."""

@@ -1,6 +1,7 @@
 """Row-parallel execution: partitioners, the partitioned runner the
 execution engine (:mod:`repro.engine`) drives for plans with threads > 1,
-and the shared-memory process backend (segment publication in
+the sharded runner (:mod:`repro.parallel.shards`) for plans carrying a
+shard grid, and the shared-memory process backend (segment publication in
 :mod:`repro.parallel.shm`, the persistent worker pool in
 :mod:`repro.parallel.pool`)."""
 
@@ -25,7 +26,8 @@ from .pool import (
     shutdown_pool,
 )
 from .segment_cache import SegmentCache
-from .shm import SegmentGroup, active_segments, attach_csr
+from .shards import mask_cells, run_sharded
+from .shm import SegmentGroup, active_segments, attach_csr, attach_dcsr
 
 __all__ = [
     "BACKENDS",
@@ -46,4 +48,7 @@ __all__ = [
     "SegmentGroup",
     "active_segments",
     "attach_csr",
+    "attach_dcsr",
+    "mask_cells",
+    "run_sharded",
 ]

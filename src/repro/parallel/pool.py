@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import atexit
 import pickle
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -47,6 +48,7 @@ from . import shm as _shm
 
 __all__ = [
     "PartitionTask",
+    "ShardTask",
     "get_pool",
     "shutdown_pool",
     "pool_size",
@@ -277,6 +279,179 @@ def _run_task(task: PartitionTask):
             set_tracer(prev)
 
 
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard-grid cell of one masked-SpGEMM call (picklable, tiny).
+
+    Operands are *doubly-compressed* shard segments: the A row block and
+    the mask cell as DCSR, the B column panel as the DCSR of its transpose
+    (rewrapped worker-side — the same convention CSC uses to cross the
+    boundary).  ``bands`` restricts the plan's row bands to the block, in
+    block-local coordinates; ``row_offset``/``col_offset`` lift the cell's
+    COO output back into the global frame.
+    """
+
+    a: _shm.DCSRSegments  #: A row block, shape (block_h, K)
+    b_t: _shm.DCSRSegments  #: transpose of the B column panel, shape (panel_w, K)
+    mask: _shm.DCSRSegments  #: mask cell, shape (block_h, panel_w)
+    cell: Tuple[int, int]  #: (row-block index, column-panel index)
+    row_offset: int
+    col_offset: int
+    #: ((algo, rows_desc), ...) — rows_desc is ("range", lo, hi) or
+    #: ("rows", ndarray), both local to the row block
+    bands: tuple
+    phases: int
+    complement: bool
+    impl: str
+    semiring: tuple
+    trace: bool = False
+    probe: bool = False
+
+
+#: per-worker cache of CSR forms derived from published shards, keyed by
+#: (content token, kind).  Conversions copy out of shared memory
+#: (``DCSR.to_csr`` materialises fresh arrays), so cached forms outlive the
+#: segments; tokens change whenever published bytes change, so a session's
+#: values-only rewrite can never be served a stale conversion.
+_SHARD_FORMS: "OrderedDict[tuple, object]" = OrderedDict()
+_SHARD_FORMS_MAX = 32
+
+
+def _shard_form(spec: _shm.DCSRSegments, kind: str):
+    """The CSR-ish form a kernel wants, cached per worker by content token.
+
+    ``"csr"`` expands the published DCSR; ``"csr_t"`` is its transpose —
+    for a B-panel spec (published as the panel's transpose) that makes
+    ``"csr"`` the (panel_w, K) transpose usable directly as CSC backing and
+    ``"csr_t"`` the (K, panel_w) panel itself.
+    """
+    key = (spec.token, kind)
+    hit = _SHARD_FORMS.get(key)
+    if hit is not None:
+        _SHARD_FORMS.move_to_end(key)
+        return hit
+    if kind == "csr":
+        out = _shm.attach_dcsr(spec).to_csr()
+    elif kind == "csr_t":
+        out = _shard_form(spec, "csr").transpose()
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown shard form {kind!r}")
+    _SHARD_FORMS[key] = out
+    while len(_SHARD_FORMS) > _SHARD_FORMS_MAX:
+        _SHARD_FORMS.popitem(last=False)
+    return out
+
+
+def clear_shard_forms() -> None:
+    """Drop this process's derived-form cache (tests / pool shutdown)."""
+    _SHARD_FORMS.clear()
+
+
+def _run_shard_task(task: ShardTask):
+    """Worker entry point for one shard cell: attach, expand (cached by
+    content token), run each band's kernel on the cell, return global COO.
+
+    Mirrors :func:`_run_task`'s tracer/probe discipline — install per task,
+    uninstall in ``finally`` — but operates on a (block_h x panel_w) cell:
+    every band of the plan that intersects the row block runs against the
+    cell's B panel and mask cell, and the COO triples come back already
+    lifted by the cell's row/column offsets so the parent's merge is plain
+    concatenation across cells.
+    """
+    from ..core.masked_spgemm import masked_spgemm
+    from ..sparse import CSC
+    from .executor import row_block, row_slice
+
+    tracer = None
+    prev = None
+    probes = None
+    prev_probes = None
+    if task.trace:
+        from ..observe.tracer import Tracer, set_tracer
+
+        tracer = Tracer()
+        prev = set_tracer(tracer)
+    if task.probe:
+        from ..observe.probes import ProbeRegistry, set_probes
+
+        probes = ProbeRegistry()
+        prev_probes = set_probes(probes)
+    try:
+        semiring = decode_semiring(task.semiring)
+        counter = OpCounter()
+        bh, pw = task.mask.shape
+        span_cm = (
+            tracer.span(
+                "parallel.shard",
+                {
+                    "backend": "process",
+                    "cell": list(task.cell),
+                    "rows": int(bh),
+                    "cols": int(pw),
+                },
+                counter=counter,
+            )
+            if tracer is not None else _NULL_CM
+        )
+        with span_cm:
+            a_csr = _shard_form(task.a, "csr")
+            b_t = _shard_form(task.b_t, "csr")
+            b_csr = _shard_form(task.b_t, "csr_t")
+            b_csc = CSC((b_t.ncols, b_t.nrows), b_t)
+            mask_csr = _shard_form(task.mask, "csr")
+            rs: List[np.ndarray] = []
+            cs: List[np.ndarray] = []
+            vs: List[np.ndarray] = []
+            for algo, rows_desc in task.bands:
+                if rows_desc[0] == "range":
+                    lo, hi = int(rows_desc[1]), int(rows_desc[2])
+                    if hi <= lo:
+                        continue
+                    a_s = row_block(a_csr, lo, hi)
+                    m_s = row_block(mask_csr, lo, hi)
+                    offset = lo
+                else:
+                    rows = np.asarray(rows_desc[1], dtype=np.int64)
+                    if rows.size == 0:
+                        continue
+                    a_s = row_slice(a_csr, rows)
+                    m_s = row_slice(mask_csr, rows)
+                    offset = 0
+                c = masked_spgemm(
+                    a_s,
+                    b_csr,
+                    m_s,
+                    algo=algo,
+                    phases=task.phases,
+                    complement=task.complement,
+                    semiring=semiring,
+                    impl=task.impl,
+                    counter=counter,
+                    b_csc=b_csc,
+                )
+                r, cc, v = c.to_coo()
+                rs.append(r + (offset + task.row_offset))
+                cs.append(cc + task.col_offset)
+                vs.append(v)
+            if rs:
+                r = np.concatenate(rs)
+                cc = np.concatenate(cs)
+                v = np.concatenate(vs)
+            else:
+                r = cc = np.empty(0, np.int64)
+                v = np.empty(0, np.float64)
+        return _coo_payload(r, cc, v, counter, tracer, probes)
+    finally:
+        if probes is not None:
+            from ..observe.probes import set_probes
+
+            set_probes(prev_probes)
+        if tracer is not None:
+            from ..observe.tracer import set_tracer
+
+            set_tracer(prev)
+
+
 def _coo_payload(rows, cols, vals, counter, tracer=None, probes=None):
     spans = tracer.export() if tracer is not None else []
     probe_export = probes.export() if probes is not None else {}
@@ -284,14 +459,14 @@ def _coo_payload(rows, cols, vals, counter, tracer=None, probes=None):
 
 
 def run_tasks(
-    workers: int, tasks: Sequence[PartitionTask]
+    workers: int, tasks: Sequence, fn=_run_task
 ) -> Tuple[
     List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
     List[OpCounter],
     List[List[dict]],
     List[dict],
 ]:
-    """Run partition tasks on the persistent pool, in submission order.
+    """Run partition (or shard) tasks on the persistent pool, in order.
 
     Results come back ordered by partition index (futures are awaited in
     order), which keeps the merged output deterministic.  The third return
@@ -302,12 +477,14 @@ def run_tasks(
     batch; flattening would cross-link spans from different tasks.  The
     fourth holds each task's probe-histogram export (empty dict unless
     submitted with ``probe=True``); histogram merges commute, so these may
-    be ingested in any order.  A broken pool (a worker was OOM-killed or
-    crashed) is discarded so the next call starts clean, and the error
-    propagates to the caller.
+    be ingested in any order.  ``fn`` selects the worker entry point —
+    :func:`_run_task` for :class:`PartitionTask`, :func:`_run_shard_task`
+    for :class:`ShardTask`; both speak the same payload protocol.  A broken
+    pool (a worker was OOM-killed or crashed) is discarded so the next call
+    starts clean, and the error propagates to the caller.
     """
     pool = get_pool(workers)
-    futures = [pool.submit(_run_task, t) for t in tasks]
+    futures = [pool.submit(fn, t) for t in tasks]
     triples: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     counters: List[OpCounter] = []
     span_batches: List[List[dict]] = []

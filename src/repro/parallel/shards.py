@@ -1,0 +1,415 @@
+"""Sharded masked-SpGEMM execution over doubly-compressed shard grids.
+
+A plan whose ``shards`` field holds a :class:`~repro.engine.ShardGrid` is
+executed cell by cell: the output is tiled into row blocks × column
+panels, the operands are sliced to match — A row blocks and mask cells as
+:class:`~repro.sparse.DCSR`, B column panels as
+:class:`~repro.sparse.DCSC` — and one task per *nonempty* grid cell runs
+the plan's row bands against the cell's panel-local operands.  Because the
+mask proves a cell of ``C = M .* (A @ B)`` empty whenever its mask cell is
+empty, those cells are pruned **before dispatch**: the task count is the
+mask's cell census, not the grid size (a complemented mask is potentially
+dense everywhere, so every cell runs).
+
+The doubly-compressed forms are what make the tiling cheap.  Slicing a
+row block or column panel out of DCSR/DCSC costs ``O(log nz + slice nnz)``
+(binary search + views), the mask's cells assemble in one
+``O(nnz)`` binning pass (:func:`mask_cells`), and a cell's storage never
+pays for the empty rows/columns tiling creates — the hypersparse case
+DCSR exists for (Buluç & Gilbert).
+
+All three backends run the same decomposition:
+
+* ``serial`` / ``thread`` — cell operands are expanded to CSR once per
+  block/panel (serially, so the thread pool never races a lazy build) and
+  cells are dispatched to the caller's thread or a thread pool;
+* ``process`` — each needed shard is published into shared memory as
+  :class:`~repro.parallel.shm.DCSRSegments` (per-shard content keys let a
+  session reuse unchanged shards across calls) and one
+  :class:`~repro.parallel.pool.ShardTask` per cell runs on the persistent
+  pool, with workers caching derived CSR forms by shard content token.
+
+Outputs are bit-for-bit identical to the unsharded path on every backend:
+each output entry ``(i, j)`` is produced by exactly one cell from exactly
+the same k-set in the same order, and the COO merge canonicalises through
+``CSR.from_coo`` like every other merge in the library.
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.masked_spgemm import masked_spgemm
+from ..machine import OpCounter
+from ..observe import probes as _probes
+from ..observe import tracer as _obs
+from ..semiring import PLUS_TIMES, Semiring
+from ..sparse import CSC, CSR, DCSC, DCSR
+from .executor import _merge_triples, normalize_backend, row_block, row_slice
+
+__all__ = ["mask_cells", "run_sharded"]
+
+_log = logging.getLogger("repro.parallel")
+
+
+def mask_cells(mask: CSR, grid) -> Dict[Tuple[int, int], DCSR]:
+    """Bin a mask's entries into grid cells; returns only nonempty cells.
+
+    One vectorised pass: expand row ids, locate each entry's cell with two
+    ``searchsorted`` calls against the boundary arrays, stable-sort by cell
+    id (which preserves the CSR's (row, col) lexicographic order *within*
+    each cell) and cut the result at cell boundaries into per-cell DCSRs
+    via :meth:`DCSR.from_sorted_coo` — ``O(nnz log nnz)`` total,
+    independent of the grid size.  Cell coordinates are local to the cell.
+    """
+    cells: Dict[Tuple[int, int], DCSR] = {}
+    mask = mask.sort_indices()
+    if mask.nnz == 0:
+        return cells
+    rbounds = np.asarray(grid.row_bounds, dtype=np.int64)
+    cbounds = np.asarray(grid.col_bounds, dtype=np.int64)
+    rows = np.repeat(np.arange(mask.nrows, dtype=np.int64), mask.row_nnz())
+    cols = mask.indices.astype(np.int64, copy=False)
+    ri = np.searchsorted(rbounds, rows, side="right") - 1
+    ci = np.searchsorted(cbounds, cols, side="right") - 1
+    cell = ri * grid.ncp + ci
+    order = np.argsort(cell, kind="stable")
+    cell_sorted = cell[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(np.diff(cell_sorted)) + 1, [cell_sorted.size])
+    )
+    for s, e in zip(starts[:-1], starts[1:]):
+        idx = order[s:e]
+        cid = int(cell_sorted[s])
+        i, j = cid // grid.ncp, cid % grid.ncp
+        lo_r, lo_c = grid.row_bounds[i], grid.col_bounds[j]
+        cells[(i, j)] = DCSR.from_sorted_coo(
+            (grid.row_bounds[i + 1] - lo_r, grid.col_bounds[j + 1] - lo_c),
+            rows[idx] - lo_r,
+            cols[idx] - lo_c,
+            mask.data[idx],
+        )
+    return cells
+
+
+def _empty_cell(shape) -> DCSR:
+    e = np.empty(0, dtype=np.int64)
+    return DCSR.from_sorted_coo(shape, e, e, np.empty(0, dtype=np.float64))
+
+
+def _band_descs(bands, row_bounds, nrows: int) -> List[tuple]:
+    """Per-row-block restriction of the plan's bands, in local coordinates.
+
+    Returns one ``((algo, rows_desc), ...)`` tuple per block, where
+    ``rows_desc`` is ``("range", lo, hi)`` (block-local) for full or
+    contiguous bands and ``("rows", ndarray)`` for scattered ones — the
+    same descriptor language :class:`~repro.parallel.pool.PartitionTask`
+    speaks.  Band order is preserved, so per-cell counters accumulate in
+    plan order on every backend.
+    """
+    out: List[tuple] = []
+    for lo, hi in zip(row_bounds[:-1], row_bounds[1:]):
+        descs: List[tuple] = []
+        for band in bands:
+            if band.is_full(nrows):
+                if hi > lo:
+                    descs.append((band.algo, ("range", 0, hi - lo)))
+                continue
+            rows = np.asarray(band.rows)
+            if rows.size == 0:
+                continue
+            if band.is_contiguous():
+                s, e = max(int(rows[0]), lo), min(int(rows[-1]) + 1, hi)
+                if s < e:
+                    descs.append((band.algo, ("range", s - lo, e - lo)))
+                continue
+            sel = rows[(rows >= lo) & (rows < hi)]
+            if sel.size:
+                descs.append((band.algo, ("rows", (sel - lo).astype(np.int64))))
+        out.append(tuple(descs))
+    return out
+
+
+def run_sharded(
+    plan,
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    semiring: Semiring = PLUS_TIMES,
+    impl: str = "auto",
+    counter: Optional[OpCounter] = None,
+    backend: Optional[str] = None,
+    session=None,
+) -> CSR:
+    """Execute a sharded plan (``plan.shards`` is a ``ShardGrid``).
+
+    The engine's sharded dispatch path: builds the mask's cell census,
+    prunes provably-empty cells (plain mask), restricts the plan's row
+    bands to each block, and runs one task per surviving cell on the
+    plan's backend.  ``session`` gives the process backend per-shard
+    segment reuse across calls and memoises the operands' DCSR/DCSC
+    compressions.
+    """
+    grid = plan.shards
+    backend = normalize_backend(plan.backend if backend is None else backend)
+    session = session or None
+    if session is not None and not session.caching:
+        session = None
+    shape = (a.nrows, b.ncols)
+
+    cells = mask_cells(mask, grid)
+    if plan.complement:
+        # the complement of the mask may be dense anywhere: no pruning
+        work = [(i, j) for i in range(grid.nrb) for j in range(grid.ncp)]
+    else:
+        work = sorted(cells)
+    band_descs = _band_descs(plan.bands, grid.row_bounds, a.nrows)
+
+    tr = _obs.current()
+    shard_cm = (
+        tr.span(
+            "engine.shard",
+            {
+                "grid": [grid.nrb, grid.ncp],
+                "cells": grid.ncells,
+                "nonempty_cells": len(cells),
+                "tasks": len(work),
+                "backend": backend,
+            },
+            counter=counter,
+        )
+        if tr is not None else _obs.NULL_SPAN
+    )
+    with shard_cm:
+        if not work:
+            return CSR.empty(shape)
+        if backend == "process" and len(work) > 1:
+            result = _run_sharded_process(
+                plan, grid, a, b, mask, cells, work, band_descs,
+                semiring=semiring, impl=impl, counter=counter, session=session,
+            )
+            if result is not None:
+                return result
+            _log.warning(
+                "sharded process backend fell back to thread for semiring %r "
+                "(untransferable or platform unsupported)", semiring.name,
+            )
+            backend = "thread"
+        return _run_sharded_local(
+            plan, grid, a, b, cells, work, band_descs,
+            backend=backend, semiring=semiring, impl=impl, counter=counter,
+            session=session,
+        )
+
+
+def _cell_triples(
+    plan, grid, cell, a_csr: CSR, b_csr: CSR, b_csc: CSC, m_csr: CSR,
+    descs, *, semiring, impl, counter,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run one cell's bands; COO comes back in global coordinates."""
+    i, j = cell
+    rs: List[np.ndarray] = []
+    cs: List[np.ndarray] = []
+    vs: List[np.ndarray] = []
+    for algo, rows_desc in descs:
+        if rows_desc[0] == "range":
+            lo, hi = int(rows_desc[1]), int(rows_desc[2])
+            if hi <= lo:
+                continue
+            a_s, m_s, offset = row_block(a_csr, lo, hi), row_block(m_csr, lo, hi), lo
+        else:
+            rows = np.asarray(rows_desc[1], dtype=np.int64)
+            if rows.size == 0:
+                continue
+            a_s, m_s, offset = row_slice(a_csr, rows), row_slice(m_csr, rows), 0
+        c = masked_spgemm(
+            a_s,
+            b_csr,
+            m_s,
+            algo=algo,
+            phases=plan.phases,
+            complement=plan.complement,
+            semiring=semiring,
+            impl=impl,
+            counter=counter,
+            b_csc=b_csc,
+        )
+        r, cc, v = c.to_coo()
+        rs.append(r + (offset + grid.row_bounds[i]))
+        cs.append(cc + grid.col_bounds[j])
+        vs.append(v)
+    if not rs:
+        e = np.empty(0, dtype=np.int64)
+        return e, e, np.empty(0, dtype=np.float64)
+    return np.concatenate(rs), np.concatenate(cs), np.concatenate(vs)
+
+
+def _run_sharded_local(
+    plan, grid, a: CSR, b: CSR, cells, work, band_descs, *,
+    backend: str, semiring, impl, counter, session,
+) -> CSR:
+    """Serial / thread execution of the shard work list.
+
+    Every block/panel/cell expansion to CSR happens serially *before*
+    dispatch, so the thread pool only ever reads immutable operands —
+    no lazily-built form is ever shared between racing workers.
+    """
+    a_d = session.dcsr_of(a) if session is not None else DCSR.from_csr(a)
+    b_dc = session.dcsc_of(b) if session is not None else DCSC.from_csr(b)
+
+    a_blocks: Dict[int, CSR] = {}
+    for i in sorted({i for i, _ in work}):
+        lo, hi = grid.row_bounds[i], grid.row_bounds[i + 1]
+        a_blocks[i] = a_d.row_block(lo, hi).to_csr()
+    panels: Dict[int, Tuple[CSR, CSC]] = {}
+    for j in sorted({j for _, j in work}):
+        lo, hi = grid.col_bounds[j], grid.col_bounds[j + 1]
+        b_t = b_dc.column_panel(lo, hi).to_transposed_dcsr().to_csr()
+        # the (panel_w, K) transpose doubles as the CSC backing for free
+        panels[j] = (b_t.transpose(), CSC((b_t.ncols, b_t.nrows), b_t))
+    m_csrs: Dict[Tuple[int, int], CSR] = {}
+    for i, j in work:
+        cell = cells.get((i, j))
+        shape = (
+            grid.row_bounds[i + 1] - grid.row_bounds[i],
+            grid.col_bounds[j + 1] - grid.col_bounds[j],
+        )
+        m_csrs[(i, j)] = cell.to_csr() if cell is not None else CSR.empty(shape)
+
+    counters = [OpCounter() for _ in work]
+    tr = _obs.current()
+
+    def run_cell(idx: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        i, j = work[idx]
+        m_csr = m_csrs[(i, j)]
+        cell_cm = (
+            tr.span(
+                "parallel.shard",
+                {"backend": backend, "cell": [i, j],
+                 "rows": m_csr.nrows, "cols": m_csr.ncols},
+                counter=counters[idx],
+            )
+            if tr is not None else _obs.NULL_SPAN
+        )
+        with cell_cm:
+            b_csr, b_csc = panels[j]
+            return _cell_triples(
+                plan, grid, (i, j), a_blocks[i], b_csr, b_csc, m_csr,
+                band_descs[i],
+                semiring=semiring, impl=impl, counter=counters[idx],
+            )
+
+    if backend == "serial" or plan.threads <= 1 or len(work) == 1:
+        triples = [run_cell(k) for k in range(len(work))]
+    else:
+        with ThreadPoolExecutor(max_workers=min(plan.threads, len(work))) as tp:
+            triples = list(tp.map(run_cell, range(len(work))))
+    return _merge_triples(
+        triples, (a.nrows, b.ncols), counters=counters, counter=counter
+    )
+
+
+def _run_sharded_process(
+    plan, grid, a: CSR, b: CSR, mask: CSR, cells, work, band_descs, *,
+    semiring, impl, counter, session,
+) -> Optional[CSR]:
+    """Shared-memory process execution; ``None`` means "fall back to
+    threads" (untransferable semiring or missing platform support).
+
+    Only the shards the pruned work list references are published.  With a
+    session, each shard is served from the session's
+    :class:`~repro.parallel.segment_cache.SegmentCache` under the shard's
+    *own* content digest — so reuse survives the parent operand changing:
+    an iterative app that prunes a few edges republishes only the shards
+    those edges lived in, and a values-only change rewrites a shard's
+    data segment in place.
+    """
+    from . import pool as _pool
+    from . import shm as _shm
+
+    if not _pool.process_backend_available():
+        return None
+    token = _pool.encode_semiring(semiring)
+    if token is None:
+        return None
+    tracer = _obs.current()
+    probes = _probes.current()
+
+    a_d = session.dcsr_of(a) if session is not None else DCSR.from_csr(a)
+    b_dc = session.dcsc_of(b) if session is not None else DCSC.from_csr(b)
+
+    cache = session.segment_cache if session is not None else None
+    group = None
+    if cache is not None:
+        cache.begin_call()
+        seg_before = (cache.segments_reused, cache.bytes_republished)
+        publish = cache.publish_dcsr
+    else:
+        group = _shm.SegmentGroup()
+        publish = group.publish_dcsr
+    try:
+        a_specs: Dict[int, _shm.DCSRSegments] = {}
+        for i in sorted({i for i, _ in work}):
+            lo, hi = grid.row_bounds[i], grid.row_bounds[i + 1]
+            a_specs[i] = publish(a_d.row_block(lo, hi))
+        b_specs: Dict[int, _shm.DCSRSegments] = {}
+        for j in sorted({j for _, j in work}):
+            lo, hi = grid.col_bounds[j], grid.col_bounds[j + 1]
+            b_specs[j] = publish(b_dc.column_panel(lo, hi).to_transposed_dcsr())
+        m_specs: Dict[Tuple[int, int], _shm.DCSRSegments] = {}
+        for i, j in work:
+            cell = cells.get((i, j))
+            if cell is None:  # complement runs mask-empty cells too
+                cell = _empty_cell((
+                    grid.row_bounds[i + 1] - grid.row_bounds[i],
+                    grid.col_bounds[j + 1] - grid.col_bounds[j],
+                ))
+            m_specs[(i, j)] = publish(cell)
+        tasks = [
+            _pool.ShardTask(
+                a=a_specs[i],
+                b_t=b_specs[j],
+                mask=m_specs[(i, j)],
+                cell=(i, j),
+                row_offset=grid.row_bounds[i],
+                col_offset=grid.col_bounds[j],
+                bands=band_descs[i],
+                phases=plan.phases,
+                complement=plan.complement,
+                impl=impl,
+                semiring=token,
+                trace=tracer is not None,
+                probe=probes is not None,
+            )
+            for i, j in work
+        ]
+        triples, counters, span_batches, probe_batches = _pool.run_tasks(
+            max(1, min(plan.threads, len(tasks))), tasks,
+            fn=_pool._run_shard_task,
+        )
+    finally:
+        if group is not None:
+            group.close()
+        else:
+            cache.end_call()
+
+    if cache is not None and counter is not None:
+        counter.segments_reused += cache.segments_reused - seg_before[0]
+        counter.bytes_republished += cache.bytes_republished - seg_before[1]
+
+    if tracer is not None:
+        for batch in span_batches:
+            if batch:
+                tracer.ingest(batch)
+    if probes is not None:
+        for payload in probe_batches:
+            if payload:
+                probes.ingest(payload)
+    return _merge_triples(
+        triples, (a.nrows, b.ncols), counters=counters, counter=counter
+    )

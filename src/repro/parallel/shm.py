@@ -29,6 +29,7 @@ from __future__ import annotations
 import atexit
 import os
 import secrets
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -43,17 +44,19 @@ except ImportError:  # pragma: no cover
     resource_tracker = None
     HAVE_SHARED_MEMORY = False
 
-from ..sparse import CSC, CSR
+from ..sparse import CSC, CSR, DCSR
 
 __all__ = [
     "HAVE_SHARED_MEMORY",
     "SegmentSpec",
     "CSRSegments",
+    "DCSRSegments",
     "SegmentGroup",
     "rewrite_array",
     "attach_array",
     "attach_csr",
     "attach_csc",
+    "attach_dcsr",
     "active_segments",
     "clear_attachments",
 ]
@@ -82,6 +85,27 @@ class CSRSegments:
 
     shape: Tuple[int, int]
     sorted_indices: bool
+    indptr: SegmentSpec
+    indices: SegmentSpec
+    data: SegmentSpec
+
+
+@dataclass(frozen=True)
+class DCSRSegments:
+    """A DCSR shard published as four shared segments (plus metadata).
+
+    The sharded executor's transfer form: DCSC panels ship as the DCSR of
+    their transpose (rewrapped worker-side), mirroring how CSC crosses the
+    boundary as :class:`CSRSegments` of the transpose.  ``token`` is a
+    content address: it changes whenever the published bytes change (fresh
+    publication, or an in-place values rewrite by the session segment
+    cache), so workers can key caches of *derived* forms — the CSR a shard
+    expands to before hitting a kernel — on it without risking staleness.
+    """
+
+    shape: Tuple[int, int]
+    token: str
+    rows: SegmentSpec
     indptr: SegmentSpec
     indices: SegmentSpec
     data: SegmentSpec
@@ -189,6 +213,24 @@ class SegmentGroup:
         """Publish a CSC operand (as the CSR of its transpose)."""
         return self.publish_csr(mat.to_transposed_csr())
 
+    def publish_dcsr(self, mat: DCSR, *, token: Optional[str] = None) -> DCSRSegments:
+        """Publish a DCSR shard's four arrays.
+
+        ``token`` defaults to the data segment's (globally unique) name —
+        correct for one-shot publication; the session segment cache passes
+        a content-derived token instead so reused shards keep a stable
+        address across calls and rewritten shards get a fresh one.
+        """
+        data = self.publish_array(mat.data)
+        return DCSRSegments(
+            shape=mat.shape,
+            token=token if token is not None else data.name,
+            rows=self.publish_array(mat.rows),
+            indptr=self.publish_array(mat.indptr),
+            indices=self.publish_array(mat.indices),
+            data=data,
+        )
+
     # -- lifecycle -----------------------------------------------------
     def _segment(self, nbytes: int) -> "shared_memory.SharedMemory":
         if self._closed:
@@ -220,16 +262,43 @@ class SegmentGroup:
 # worker side: attach
 # ----------------------------------------------------------------------
 
-#: per-process attachment cache: name -> (SharedMemory, insertion order key).
-#: Workers are reused across calls; partitions of one call share operands,
-#: so the first task attaches and the rest hit the cache.
-_ATTACHED: Dict[str, "shared_memory.SharedMemory"] = {}
+#: per-process attachment cache (LRU: name -> SharedMemory).  Workers are
+#: reused across calls; partitions of one call share operands, so the first
+#: task attaches and the rest hit the cache.  Eviction must be
+#: least-recently-used: the sharded runner attaches dozens of small
+#: segments per call, and evicting newest-first would close segments whose
+#: NumPy views are alive in the task currently running.
+_ATTACHED: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
 _ATTACH_CACHE_MAX = 64
+
+#: handles evicted while a NumPy view of them was still exported: ``close``
+#: raises BufferError then, and letting the handle be garbage-collected
+#: would re-raise it from ``SharedMemory.__del__`` as an "Exception
+#: ignored" traceback.  Park them here and retry once the views have died.
+_RETIRED: List["shared_memory.SharedMemory"] = []
+
+
+def _retire(shm: "shared_memory.SharedMemory") -> None:
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a view is still alive
+        _RETIRED.append(shm)
+
+
+def _drain_retired() -> None:
+    still: List["shared_memory.SharedMemory"] = []
+    for shm in _RETIRED:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - view still alive
+            still.append(shm)
+    _RETIRED[:] = still
 
 
 def _attach_segment(name: str) -> "shared_memory.SharedMemory":
     shm = _ATTACHED.get(name)
     if shm is not None:
+        _ATTACHED.move_to_end(name)
         return shm
     # The resource tracker would treat an attach as ownership and clean the
     # segment up when *this* process exits, though the parent owns it
@@ -248,12 +317,10 @@ def _attach_segment(name: str) -> "shared_memory.SharedMemory":
             resource_tracker.register = orig_register
     else:  # pragma: no cover - tracker internals moved
         shm = shared_memory.SharedMemory(name=name)
+    _drain_retired()
     while len(_ATTACHED) >= _ATTACH_CACHE_MAX:
-        _, old = _ATTACHED.popitem()
-        try:
-            old.close()
-        except BufferError:  # pragma: no cover - a view is still alive
-            pass
+        _, old = _ATTACHED.popitem(last=False)
+        _retire(old)
     _ATTACHED[name] = shm
     return shm
 
@@ -261,11 +328,9 @@ def _attach_segment(name: str) -> "shared_memory.SharedMemory":
 def clear_attachments() -> None:
     """Drop this process's attachment cache (used by pool shutdown/tests)."""
     for shm in list(_ATTACHED.values()):
-        try:
-            shm.close()
-        except BufferError:  # pragma: no cover
-            pass
+        _retire(shm)
     _ATTACHED.clear()
+    _drain_retired()
 
 
 def attach_array(spec: SegmentSpec) -> np.ndarray:
@@ -291,3 +356,15 @@ def attach_csc(spec: Optional[CSRSegments]) -> Optional[CSC]:
         return None
     t = attach_csr(spec)
     return CSC((t.ncols, t.nrows), t)
+
+
+def attach_dcsr(spec: DCSRSegments) -> DCSR:
+    """Zero-copy DCSR view of a published shard (no validation re-run)."""
+    return DCSR(
+        spec.shape,
+        attach_array(spec.rows),
+        attach_array(spec.indptr),
+        attach_array(spec.indices),
+        attach_array(spec.data),
+        check=False,
+    )

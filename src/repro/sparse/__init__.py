@@ -8,7 +8,7 @@ degree-sorted relabeling lives in :mod:`repro.graphs.relabel`).
 
 from .csr import CSR
 from .csc import CSC
-from .dcsr import DCSR
+from .dcsr import DCSC, DCSR
 from .ops import (
     apply_mask,
     ewise_add,
@@ -27,6 +27,7 @@ __all__ = [
     "CSR",
     "CSC",
     "DCSR",
+    "DCSC",
     "apply_mask",
     "ewise_add",
     "ewise_mult",

@@ -68,12 +68,12 @@ class TestCollection:
         assert set(tiny_run["env"]) == {
             "git_sha", "python", "numpy", "cpu_count", "platform", "machine",
         }
-        # 3 pinned schemes x (1 TC case + 2x2 grid cells), plus the two
-        # sessioned iterative-app records
-        assert len(tiny_run["records"]) == 17
+        # 3 pinned schemes x (1 TC case + 2x2 grid cells), plus the
+        # sessioned iterative-app records and the sharded TC record
+        assert len(tiny_run["records"]) == 18
         schemes = {r["scheme"] for r in tiny_run["records"]}
         assert schemes == set(PINNED_SCHEME_NAMES) | {
-            "ktruss-session", "bc-session",
+            "ktruss-session", "bc-session", "tc-sharded",
         }
 
     def test_record_carries_work_certificate(self, tiny_run):

@@ -1,0 +1,399 @@
+"""Sharded masked-SpGEMM suite: planner grids, cell binning, equivalence.
+
+The shard grid (``docs/sharding.md``) tiles the output into DCSR row
+blocks × DCSC column panels and dispatches one task per *nonempty* mask
+cell.  The contract under test:
+
+* the planner resolves the ``shards`` knob (tuple / ``"auto"`` / explicit
+  :class:`ShardGrid`) and records a cell census in the plan notes;
+* sharded execution is **bit-for-bit identical** to the unsharded path on
+  all three backends, for every algorithm, complement masks and 2P plans;
+* :class:`OpCounter` totals are identical too for the algorithms whose
+  counters are additive under row/column slicing (inner/msa/mca/esc —
+  hash sizes its table per flop-budget batch and the heap schemes' merge
+  costs depend on row extent, so only their *outputs* are asserted);
+* mask-empty cells are provably pruned before dispatch (task count <
+  grid size, visible in the ``engine.shard`` span and the plan notes);
+* sessions reuse unchanged shard segments across calls
+  (``segments_reused > 0``).
+
+Carries both the ``shard`` and ``backend`` markers: CI's backend-smoke
+job runs it alongside the backend-equivalence suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import ALL_ALGOS, masked_spgemm, supports_complement
+from repro.engine import ExecutionSession, Planner, ShardGrid, plan
+from repro.graphs import erdos_renyi, rmat
+from repro.machine import HASWELL, OpCounter
+from repro.observe import Tracer, set_tracer
+from repro.parallel import active_segments, mask_cells, shutdown_pool
+from repro.sparse import CSR, read_mtx
+
+pytestmark = [pytest.mark.shard, pytest.mark.backend]
+
+DATA = Path(__file__).parent.parent / "data"
+WORKERS = 2
+BACKENDS = ("serial", "thread", "process")
+
+#: algorithms whose OpCounter totals are invariant under the shard
+#: decomposition (see module docstring for why hash/heap/heapdot are not)
+ADDITIVE_COUNTER_ALGOS = ("inner", "msa", "mca", "esc")
+
+
+def _inputs():
+    karate = read_mtx(DATA / "karate.mtx")
+    er = erdos_renyi(48, 48, 3, seed=7, values="uniform")
+    rm = rmat(6, seed=3)
+    return [("karate", karate), ("er", er), ("rmat", rm)]
+
+
+@pytest.fixture(scope="module", params=_inputs(), ids=lambda p: p[0])
+def graph(request):
+    return request.param[1]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_pool()
+    assert active_segments() == ()
+
+
+def _same(got: CSR, ref: CSR, label: str = "") -> None:
+    # CSR defines no __eq__; compare the canonical arrays bitwise
+    assert got.shape == ref.shape, label
+    assert np.array_equal(got.indptr, ref.indptr), label
+    assert np.array_equal(got.indices, ref.indices), label
+    assert np.array_equal(got.data, ref.data), label
+
+
+# ----------------------------------------------------------------------
+# ShardGrid + planner resolution
+# ----------------------------------------------------------------------
+class TestShardGrid:
+    def test_regular_grid_spans_shape(self):
+        g = ShardGrid.regular((10, 7), 3, 2)
+        assert g.nrb == 3 and g.ncp == 2 and g.ncells == 6
+        assert g.row_bounds[0] == 0 and g.row_bounds[-1] == 10
+        assert g.col_bounds[0] == 0 and g.col_bounds[-1] == 7
+        assert sum(hi - lo for lo, hi in g.row_blocks()) == 10
+        assert sum(hi - lo for lo, hi in g.col_panels()) == 7
+
+    def test_grid_is_hashable_plan_cache_key_material(self):
+        a = ShardGrid.regular((10, 10), 2, 2)
+        b = ShardGrid.regular((10, 10), 2, 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != ShardGrid.regular((10, 10), 2, 3)
+
+    @pytest.mark.parametrize(
+        "row_bounds,col_bounds,match",
+        [
+            ((0,), (0, 10), "at least one block"),
+            ((1, 10), (0, 10), r"span \[0, 10\]"),
+            ((0, 9), (0, 10), r"span \[0, 10\]"),
+            ((0, 7, 3, 10), (0, 10), "non-decreasing"),
+            ((0, 10), (0, 11), r"span \[0, 10\]"),
+        ],
+    )
+    def test_validate_rejects_bad_bounds(self, row_bounds, col_bounds, match):
+        with pytest.raises(ValueError, match=match):
+            ShardGrid(row_bounds, col_bounds).validate((10, 10))
+
+    def test_empty_blocks_are_legal(self):
+        # non-decreasing allows zero-height blocks (adaptive grids may
+        # emit them); the executor simply finds their mask cells empty
+        ShardGrid((0, 5, 5, 10), (0, 10)).validate((10, 10))
+
+
+class TestPlannerSharding:
+    def test_tuple_grid(self, graph):
+        pl = plan(graph, graph, graph, algo="msa", shards=(3, 2))
+        assert pl.shards is not None
+        assert (pl.shards.nrb, pl.shards.ncp) == (3, 2)
+        assert any("cells carry mask entries" in n for n in pl.notes)
+        assert "shard grid 3x2" in pl.explain()
+
+    def test_explicit_grid_used_verbatim(self, graph):
+        n = graph.nrows
+        grid = ShardGrid((0, 1, n), (0, n))
+        pl = plan(graph, graph, graph, algo="msa", shards=grid)
+        assert pl.shards == grid
+
+    def test_one_by_one_degenerates_to_unsharded(self, graph):
+        pl = plan(graph, graph, graph, algo="msa", shards=(1, 1))
+        assert pl.shards is None
+        assert any("degenerates" in n for n in pl.notes)
+
+    def test_auto_respects_memory_budget(self, graph):
+        roomy = Planner(HASWELL)
+        pl = roomy.plan(graph, graph, graph, shards="auto")
+        assert pl.shards is None  # tiny graphs fit the default 256 MiB
+        tiny = Planner(
+            dataclasses.replace(HASWELL, shard_memory_budget_bytes=64)
+        )
+        pl = tiny.plan(graph, graph, graph, shards="auto")
+        assert pl.shards is not None
+        assert pl.shards.ncells > 1
+        assert any("sharding auto" in n for n in pl.notes)
+
+    def test_bad_shards_knob_rejected(self, graph):
+        with pytest.raises(ValueError, match="shards must be"):
+            plan(graph, graph, graph, shards="always")
+
+    def test_shards_exclusive_with_panel_width(self, graph):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            plan(graph, graph, graph, algo="msa", shards=(2, 2), panel_width=8)
+
+    def test_complement_census_notes_no_pruning(self, graph):
+        pl = plan(
+            graph, graph, graph, algo="msa", shards=(2, 2), complement=True
+        )
+        assert any("complemented mask" in n and "all" in n for n in pl.notes)
+
+    def test_plan_as_dict_round_trips_grid(self, graph):
+        pl = plan(graph, graph, graph, algo="msa", shards=(3, 2))
+        d = pl.as_dict()["shards"]
+        assert d["grid"] == [3, 2]
+        assert d["row_bounds"] == list(pl.shards.row_bounds)
+
+
+# ----------------------------------------------------------------------
+# mask_cells binning
+# ----------------------------------------------------------------------
+class TestMaskCells:
+    def test_cells_partition_the_mask(self, graph):
+        grid = ShardGrid.regular(graph.shape, 3, 2)
+        cells = mask_cells(graph, grid)
+        assert sum(c.nnz for c in cells.values()) == graph.nnz
+        for (i, j), cell in cells.items():
+            assert cell.nnz > 0
+            lo_r, hi_r = grid.row_bounds[i], grid.row_bounds[i + 1]
+            lo_c, hi_c = grid.col_bounds[j], grid.col_bounds[j + 1]
+            assert cell.shape == (hi_r - lo_r, hi_c - lo_c)
+            rows, cols, _ = cell.to_csr().to_coo()
+            assert rows.size == 0 or (rows.min() >= 0 and rows.max() < hi_r - lo_r)
+            assert cols.size == 0 or (cols.min() >= 0 and cols.max() < hi_c - lo_c)
+
+    def test_cells_reassemble_to_the_mask(self, graph):
+        grid = ShardGrid.regular(graph.shape, 4, 3)
+        cells = mask_cells(graph, grid)
+        rs, cs, vs = [], [], []
+        for (i, j), cell in cells.items():
+            r, c, v = cell.to_csr().to_coo()
+            rs.append(r + grid.row_bounds[i])
+            cs.append(c + grid.col_bounds[j])
+            vs.append(v)
+        back = CSR.from_coo(
+            graph.shape,
+            np.concatenate(rs), np.concatenate(cs), np.concatenate(vs),
+        )
+        _same(back, graph.sort_indices())
+
+    def test_empty_mask_has_no_cells(self):
+        grid = ShardGrid.regular((8, 8), 2, 2)
+        assert mask_cells(CSR.empty((8, 8)), grid) == {}
+
+    def test_block_diagonal_mask_touches_diagonal_cells_only(self):
+        n = 12
+        rows = np.arange(n)
+        m = CSR.from_coo((n, n), rows, rows, np.ones(n))
+        grid = ShardGrid.regular((n, n), 3, 3)
+        cells = mask_cells(m, grid)
+        assert set(cells) == {(0, 0), (1, 1), (2, 2)}
+
+
+# ----------------------------------------------------------------------
+# execution equivalence
+# ----------------------------------------------------------------------
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("algo", ALL_ALGOS)
+    def test_all_algos_bitwise(self, algo, backend, graph):
+        ref_counter = OpCounter()
+        ref = masked_spgemm(graph, graph, graph, algo=algo, counter=ref_counter)
+        got_counter = OpCounter()
+        got = masked_spgemm(
+            graph, graph, graph, algo=algo, counter=got_counter,
+            shards=(3, 2), backend=backend,
+        )
+        _same(got, ref, f"{algo}/{backend}")
+        if algo in ADDITIVE_COUNTER_ALGOS:
+            assert got_counter == ref_counter, f"{algo}/{backend}"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_complement_bitwise(self, backend, graph):
+        ref = masked_spgemm(graph, graph, graph, algo="msa", complement=True)
+        got = masked_spgemm(
+            graph, graph, graph, algo="msa", complement=True,
+            shards=(2, 2), backend=backend,
+        )
+        _same(got, ref, backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_two_phase_bitwise(self, backend, graph):
+        ref = masked_spgemm(graph, graph, graph, algo="msa", phases=2)
+        got = masked_spgemm(
+            graph, graph, graph, algo="msa", phases=2,
+            shards=(3, 2), backend=backend,
+        )
+        _same(got, ref, backend)
+
+    def test_auto_algo_with_shards(self, graph):
+        ref = masked_spgemm(graph, graph, graph, algo="auto")
+        got = masked_spgemm(graph, graph, graph, algo="auto", shards=(3, 2))
+        _same(got, ref)
+
+    def test_irregular_explicit_grid(self, graph):
+        n, m = graph.shape
+        grid = ShardGrid((0, 1, max(1, n // 3), n), (0, max(1, m // 4), m))
+        ref = masked_spgemm(graph, graph, graph, algo="hash")
+        got = masked_spgemm(graph, graph, graph, algo="hash", shards=grid)
+        _same(got, ref)
+
+    def test_rectangular_operands(self):
+        rng = np.random.default_rng(5)
+        def rand(n, m, k):
+            return CSR.from_coo(
+                (n, m), rng.integers(0, n, k), rng.integers(0, m, k),
+                rng.random(k),
+            )
+        a, b, m = rand(30, 50, 200), rand(50, 20, 220), rand(30, 20, 150)
+        for backend in BACKENDS:
+            ref = masked_spgemm(a, b, m, algo="msa")
+            got = masked_spgemm(
+                a, b, m, algo="msa", shards=(4, 3), backend=backend
+            )
+            _same(got, ref, backend)
+
+    def test_empty_mask_short_circuits(self, graph):
+        got = masked_spgemm(
+            graph, graph, CSR.empty(graph.shape), algo="msa", shards=(3, 2)
+        )
+        assert got.nnz == 0 and got.shape == graph.shape
+
+    def test_more_blocks_than_rows_clamped(self):
+        g = erdos_renyi(5, 5, 2, seed=11)
+        ref = masked_spgemm(g, g, g, algo="msa")
+        got = masked_spgemm(g, g, g, algo="msa", shards=(64, 64))
+        _same(got, ref)
+
+    def test_column_orientation_transposes_grid(self, graph):
+        ref = masked_spgemm(graph, graph, graph, algo="msa")
+        got = masked_spgemm(
+            graph, graph, graph, algo="msa", orientation="column",
+            shards=(3, 2),
+        )
+        _same(got, ref)
+
+
+# ----------------------------------------------------------------------
+# pruning proof + session shard reuse
+# ----------------------------------------------------------------------
+class TestPruningAndSessions:
+    def test_empty_cells_pruned_before_dispatch(self):
+        """A block-diagonal mask on a 3x3 grid dispatches 3 of 9 cells."""
+        n = 30
+        rows = np.arange(n)
+        m = CSR.from_coo((n, n), rows, rows, np.ones(n))
+        g = erdos_renyi(n, n, 4, seed=13, values="uniform")
+        pl = plan(g, g, m, algo="msa", shards=(3, 3))
+        assert any("6 pruned" in note for note in pl.notes)
+        tr = Tracer()
+        prev = set_tracer(tr)
+        try:
+            got = masked_spgemm(g, g, m, algo="msa", shards=(3, 3))
+        finally:
+            set_tracer(prev)
+        _same(got, masked_spgemm(g, g, m, algo="msa"))
+        (shard_span,) = [sp for sp in tr.spans if sp.name == "engine.shard"]
+        assert shard_span.attrs["cells"] == 9
+        assert shard_span.attrs["nonempty_cells"] == 3
+        assert shard_span.attrs["tasks"] == 3
+        cell_spans = [sp for sp in tr.spans if sp.name == "parallel.shard"]
+        assert len(cell_spans) == 3
+        assert sorted(tuple(sp.attrs["cell"]) for sp in cell_spans) == [
+            (0, 0), (1, 1), (2, 2),
+        ]
+
+    def test_complement_dispatches_every_cell(self):
+        n = 30
+        rows = np.arange(n)
+        m = CSR.from_coo((n, n), rows, rows, np.ones(n))
+        g = erdos_renyi(n, n, 4, seed=13, values="uniform")
+        tr = Tracer()
+        prev = set_tracer(tr)
+        try:
+            got = masked_spgemm(
+                g, g, m, algo="msa", complement=True, shards=(3, 3)
+            )
+        finally:
+            set_tracer(prev)
+        _same(got, masked_spgemm(g, g, m, algo="msa", complement=True))
+        (shard_span,) = [sp for sp in tr.spans if sp.name == "engine.shard"]
+        assert shard_span.attrs["tasks"] == 9
+
+    def test_session_reuses_shard_segments(self):
+        """Re-multiplying unchanged operands serves every shard from the
+        session's segment registry — the k-truss fixed-point pattern."""
+        g = rmat(6, seed=3)
+        ref = masked_spgemm(g, g, g, algo="msa")
+        with ExecutionSession() as ses:
+            c1, c2 = OpCounter(), OpCounter()
+            r1 = masked_spgemm(
+                g, g, g, algo="msa", shards=(3, 2), backend="process",
+                session=ses, counter=c1,
+            )
+            r2 = masked_spgemm(
+                g, g, g, algo="msa", shards=(3, 2), backend="process",
+                session=ses, counter=c2,
+            )
+            _same(r1, ref)
+            _same(r2, ref)
+            assert c1.segments_reused == 0  # cold: everything published
+            assert c2.segments_reused > 0  # warm: shards served from cache
+            stats = ses.stats()
+            assert stats["shard_form_hits"] > 0  # DCSR/DCSC memo hit too
+        assert active_segments() == ()
+
+    def test_sessioned_ktruss_reuses_shards(self):
+        from repro.apps import ktruss
+
+        g = rmat(6, seed=3)
+        base = ktruss(g, k=3)
+        res = ktruss(g, k=3, algo="msa", shards=(2, 2), backend="process")
+        _same(res.truss, base.truss)
+        # the fixed-point iteration re-multiplies an unchanged adjacency:
+        # its shard segments must come from the session registry
+        assert res.counter.segments_reused > 0
+        shutdown_pool()
+        assert active_segments() == ()
+
+    def test_values_only_rewrite_keeps_structure_segments(self):
+        g = rmat(6, seed=3)
+        g2 = CSR.from_segment_arrays(
+            g.shape, g.indptr, g.indices, g.data * 2.0,
+            sorted_indices=g.sorted_indices,
+        )
+        with ExecutionSession() as ses:
+            c1, c2 = OpCounter(), OpCounter()
+            masked_spgemm(
+                g, g, g, algo="msa", shards=(2, 2), backend="process",
+                session=ses, counter=c1,
+            )
+            got = masked_spgemm(
+                g2, g, g, algo="msa", shards=(2, 2), backend="process",
+                session=ses, counter=c2,
+            )
+            _same(got, masked_spgemm(g2, g, g, algo="msa"))
+            # A's shard data segments were rewritten in place, not republished
+            assert c2.bytes_republished > 0
+            assert c2.segments_reused > 0  # B and the mask reused outright
+        assert active_segments() == ()
