@@ -218,6 +218,12 @@ def session_app_records(
     (``docs/sharding.md``): the same triangle-count masked SpGEMM run on a
     2x2 shard grid over the process backend, sessioned so the repeats
     certify per-shard segment reuse in the cache telemetry.
+
+    ``tc-batched`` is the bucketed-tier twin (``docs/kernels.md``): the
+    TC masked SpGEMM forced onto ``batch="bucket"`` with ``phases=2``,
+    sessioned so repeats after the first fuse the numeric pass against
+    the memoised symbolic bound (``fused_numeric_hits`` in the session
+    telemetry certifies it).
     """
     from ..apps import betweenness_centrality, ktruss
     from ..core import masked_spgemm
@@ -235,6 +241,10 @@ def session_app_records(
         ("tc-sharded", "process",
          lambda s, c: masked_spgemm(
              low, low, low, algo="msa", shards=(2, 2), backend="process",
+             semiring=PLUS_PAIR, counter=c, session=s)),
+        ("tc-batched", "serial",
+         lambda s, c: masked_spgemm(
+             low, low, low, algo="hash", batch="bucket", phases=2,
              semiring=PLUS_PAIR, counter=c, session=s)),
     )
     records: List[dict] = []

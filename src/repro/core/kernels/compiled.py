@@ -1,0 +1,120 @@
+"""Optional compiled tier for the batched kernels (numba, auto-detected).
+
+The batched execution tier (:mod:`repro.core.kernels.batch`) spends most of
+its remaining time in ``ufunc.at`` scatter-accumulation — the one NumPy
+primitive that is unbuffered (sequential, exact) but not vectorized.  When
+numba is importable, this module JIT-compiles the float64 ``np.add`` case
+as a plain sequential loop, which is *bit-for-bit identical* to
+``np.add.at`` (both apply the additions one by one, in index order) while
+running at native speed.
+
+Contract:
+
+* :func:`add_at` is the single dispatch seam.  It falls back to
+  ``add_ufunc.at`` whenever the semiring add is not plain ``np.add``, the
+  dtypes are not float64, or numba is unavailable/disabled — so results
+  never depend on whether the compiled tier is present.
+* Detection happens once at import.  The ``REPRO_COMPILED`` environment
+  variable overrides it: ``0``/``off``/``false`` disables the tier even
+  with numba installed; ``1``/``on``/``require`` raises at import if numba
+  is missing (CI uses this to prove the compiled leg really ran compiled).
+* Nothing order-sensitive is ever compiled speculatively: the hash table's
+  ``insert`` stays pure NumPy (its slot layout depends on the exact
+  round-by-round race resolution), and non-``add`` semirings stay on
+  ``ufunc.at``.
+
+Tests monkeypatch :data:`_COMPILED_ADD_AT` to cover both sides of the seam
+without needing numba in the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "COMPILED_MODE", "add_at", "compiled_enabled", "status"]
+
+
+def _read_mode() -> str:
+    raw = os.environ.get("REPRO_COMPILED", "auto").strip().lower()
+    if raw in ("0", "off", "false", "no"):
+        return "off"
+    if raw in ("1", "on", "true", "yes", "require"):
+        return "require"
+    return "auto"
+
+
+#: how the tier was requested: "auto" | "off" | "require"
+COMPILED_MODE = _read_mode()
+
+HAVE_NUMBA = False
+_COMPILED_ADD_AT = None  # the jitted float64 kernel, or None
+
+if COMPILED_MODE != "off":
+    try:
+        import numba  # noqa: F401
+        from numba import njit
+
+        HAVE_NUMBA = True
+
+        @njit(cache=False)
+        def _add_at_f64(target, idx, vals):  # pragma: no cover - jitted
+            for i in range(idx.shape[0]):
+                target[idx[i]] += vals[i]
+
+        # warm the dispatcher once so the first kernel call is not a compile
+        _add_at_f64(
+            np.zeros(1, dtype=np.float64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.float64),
+        )
+        _COMPILED_ADD_AT = _add_at_f64
+    except ImportError:
+        if COMPILED_MODE == "require":
+            raise ImportError(
+                "REPRO_COMPILED requested the compiled tier but numba is "
+                "not importable"
+            )
+        HAVE_NUMBA = False
+
+
+def compiled_enabled() -> bool:
+    """Whether :func:`add_at` can take the compiled path at all."""
+    return _COMPILED_ADD_AT is not None
+
+
+def add_at(
+    target: np.ndarray,
+    idx: np.ndarray,
+    vals: np.ndarray,
+    add_ufunc: Optional[np.ufunc] = None,
+) -> None:
+    """Scatter-accumulate ``target[idx] (+)= vals`` with the semiring add.
+
+    Dispatches to the jitted float64 loop exactly when that loop is
+    provably bit-for-bit equivalent to ``add_ufunc.at`` (plain ``np.add``
+    over float64 — both are sequential in index order); every other case
+    uses ``add_ufunc.at`` unchanged.
+    """
+    fn = _COMPILED_ADD_AT
+    if (
+        fn is not None
+        and (add_ufunc is None or add_ufunc is np.add)
+        and target.dtype == np.float64
+        and vals.dtype == np.float64
+        and idx.dtype == np.int64
+    ):
+        fn(target, idx, vals)
+        return
+    (np.add if add_ufunc is None else add_ufunc).at(target, idx, vals)
+
+
+def status() -> dict:
+    """Introspection for docs/CI: how the tier resolved at import."""
+    return {
+        "mode": COMPILED_MODE,
+        "have_numba": HAVE_NUMBA,
+        "enabled": compiled_enabled(),
+    }

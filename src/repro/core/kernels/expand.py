@@ -68,27 +68,15 @@ def iter_row_blocks(
     a: CSR, b: CSR, flop_budget: int = DEFAULT_FLOP_BUDGET
 ) -> Iterator[Tuple[int, int]]:
     """Yield ``(row_lo, row_hi)`` blocks whose expansion stays within the
-    flop budget (single rows may exceed it; they get a block of their own)."""
-    b_nnz = b.row_nnz()
-    if a.nnz:
-        per_row = np.zeros(a.nrows, dtype=np.int64)
-        np.add.at(
-            per_row,
-            np.repeat(np.arange(a.nrows), a.row_nnz()),
-            b_nnz[a.indices],
-        )
-    else:
-        per_row = np.zeros(a.nrows, dtype=np.int64)
-    lo = 0
-    acc = 0
-    for i in range(a.nrows):
-        if acc and acc + per_row[i] > flop_budget:
-            yield lo, i
-            lo = i
-            acc = 0
-        acc += int(per_row[i])
-    if lo < a.nrows:
-        yield lo, a.nrows
+    flop budget (single rows may exceed it; they get a block of their own).
+
+    Block boundaries come from a vectorized cumulative-sum cut
+    (:func:`repro.core.kernels.batch.plan_flop_blocks`) — no per-row Python
+    loop — and are identical to the historical greedy walk's.
+    """
+    from .batch import per_row_flops, plan_flop_blocks
+
+    yield from plan_flop_blocks(per_row_flops(a, b), flop_budget)
 
 
 def row_keys(rows: np.ndarray, cols: np.ndarray, ncols: int) -> np.ndarray:

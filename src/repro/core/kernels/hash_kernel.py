@@ -22,6 +22,19 @@ For complemented masks the membership test flips: mask keys are inserted as
 "forbidden" and products found in the table are dropped; surviving products
 are then sort-reduced (they have no compact table to live in, matching the
 scalar HashComplement whose table is sized by the row-output bound).
+
+The bucketed tier (``batch="bucket"``) keeps the *same* flop-budget row
+blocks — the hash table's geometry, and therefore its probe accounting, is
+per block, so changing the blocking would change ``hash_probes`` — but
+replaces the round-by-round product lookup with a binary search into the
+block's sorted mask keys plus *arithmetic* probe reconstruction: under
+linear probing, a present key's chain length is its slot's displacement
+from the hash home (``((slot - h) & mask) + 1``) and an absent key's chain
+runs to the first empty slot at/after its home.  Both are exact, so the
+probe counter and chain histogram stay bit-for-bit identical to the
+per-key walk.  When neither a counter nor probes are installed there is
+nothing to certify and the bucketed tier skips the hash table entirely,
+accumulating straight into mask-entry-indexed scratch.
 """
 
 from __future__ import annotations
@@ -36,6 +49,8 @@ from ...observe.tracer import traced_kernel
 from ...semiring import PLUS_TIMES, Semiring
 from ...sparse import CSR
 from .arena import get_arena
+from .batch import FusedSlab, expand_keys, resolve_tier
+from .compiled import add_at as _c_add_at
 from .expand import DEFAULT_FLOP_BUDGET, expand_products, iter_row_blocks, row_keys
 
 __all__ = ["masked_spgemm_hash_fast", "VectorHashTable"]
@@ -159,11 +174,24 @@ def masked_spgemm_hash_fast(
     semiring: Semiring = PLUS_TIMES,
     counter: Optional[OpCounter] = None,
     flop_budget: int = DEFAULT_FLOP_BUDGET,
+    batch: str = "auto",
+    row_nnz: Optional[np.ndarray] = None,
 ) -> CSR:
-    """Vectorized Hash masked SpGEMM (see module docs)."""
+    """Vectorized Hash masked SpGEMM (see module docs).
+
+    ``batch`` selects the batching tier (``"auto"`` | ``"bucket"`` |
+    ``"perrow"``); ``row_nnz`` optionally carries the exact two-phase
+    symbolic bound, enabling fused direct-to-CSR output on the bucketed
+    tier (ignored on the per-row tier).
+    """
     a = a.sort_indices()
     b = b.sort_indices()
     mask = mask.sort_indices()
+    if resolve_tier(a, b, batch) == "bucket":
+        return _hash_batched(
+            a, b, mask, complement=complement, semiring=semiring,
+            counter=counter, flop_budget=flop_budget, row_nnz=row_nnz,
+        )
     n = b.ncols
     ident = semiring.add_identity
     add_at = semiring.add_ufunc.at
@@ -255,6 +283,179 @@ def masked_spgemm_hash_fast(
                 set_tab[m_slots] = False
                 table.keys[m_slots] = _EMPTY
 
+    if out_rows:
+        rows = np.concatenate(out_rows)
+        cols = np.concatenate(out_cols)
+        vals = np.concatenate(out_vals)
+    else:
+        rows = cols = np.empty(0, dtype=np.int64)
+        vals = np.empty(0, dtype=np.float64)
+    if counter is not None:
+        counter.output_nnz += int(rows.shape[0])
+    return CSR.from_coo((a.nrows, n), rows, cols, vals)
+
+
+def _lookup_probes(table, m_slots, p_keys, idxc, found):
+    """Exact probe-chain length each product lookup *would* have walked.
+
+    Linear probing with no deletions makes chains arithmetic: a present key
+    inserted from home ``h`` into ``slot`` walked ``((slot - h) & mask) + 1``
+    slots, and every one of those slots is still occupied at lookup time, so
+    the lookup walks the same chain.  An absent key walks from its home to
+    the first empty slot (inclusive); with the empty slots as a sorted array
+    that is a binary search with wraparound.  Must run *before* any slot
+    resets.
+    """
+    h = (p_keys * _HASH_SCAL) & table.mask
+    probes = np.empty(p_keys.shape[0], dtype=np.int64)
+    if m_slots.shape[0]:
+        probes[found] = ((m_slots[idxc[found]] - h[found]) & table.mask) + 1
+    absent = ~found
+    if absent.any():
+        empties = np.flatnonzero(table.keys == _EMPTY)
+        ha = h[absent]
+        e = np.searchsorted(empties, ha)
+        nxt = empties[np.minimum(e, empties.shape[0] - 1)]
+        nxt = np.where(e == empties.shape[0], empties[0] + table.cap, nxt)
+        probes[absent] = nxt - ha + 1
+    return probes
+
+
+def _hash_batched(
+    a: CSR,
+    b: CSR,
+    mask: CSR,
+    *,
+    complement: bool,
+    semiring: Semiring,
+    counter: Optional[OpCounter],
+    flop_budget: int,
+    row_nnz: Optional[np.ndarray],
+) -> CSR:
+    """The bucketed tier (see module docs): identical blocks, searchsorted
+    membership, arithmetic probe certification, optional fused output."""
+    n = b.ncols
+    ident = semiring.add_identity
+    mult = semiring.mult_ufunc
+    add_ufunc = semiring.add_ufunc
+    pr = _probes._INSTALLED
+    chain_hist = pr.hist("hash.probe_chain") if pr is not None else None
+    # with neither a counter nor probes installed there is nothing the hash
+    # table certifies — membership comes from searchsorted either way
+    need_cert = counter is not None or pr is not None
+
+    out_rows = []
+    out_cols = []
+    out_vals = []
+    slab = FusedSlab((a.nrows, n), row_nnz) if row_nnz is not None else None
+
+    arena = get_arena()
+    with arena.lease("hash.keys", np.int64, _EMPTY) as keys_lease, \
+            arena.lease(("hash.vals", float(ident)), np.float64, ident) as vals_lease, \
+            arena.lease("hash.set", np.bool_, False) as set_lease:
+        for lo, hi in iter_row_blocks(a, b, flop_budget):
+            mlo, mhi = int(mask.indptr[lo]), int(mask.indptr[hi])
+            m_rows = np.repeat(
+                np.arange(lo, hi, dtype=np.int64), np.diff(mask.indptr[lo : hi + 1])
+            )
+            m_cols = mask.indices[mlo:mhi]
+            m_keys = row_keys(m_rows, m_cols, n)
+            nm = int(m_keys.shape[0])
+            p_local, p_src, p_bpos = expand_keys(
+                a, b, np.arange(lo, hi, dtype=np.int64)
+            )
+            p_keys = (np.int64(lo) + p_local) * np.int64(n) + b.indices[p_bpos]
+            np_ = int(p_keys.shape[0])
+            if counter is not None:
+                counter.accum_allowed += nm
+                counter.accum_inserts += np_
+
+            if nm == 0 and not complement:
+                continue
+            table = None
+            m_slots = np.empty(0, dtype=np.int64)
+            if need_cert:
+                table = VectorHashTable(
+                    max(1, nm), counter, keys_lease=keys_lease,
+                    chain_hist=chain_hist,
+                )
+                if nm:
+                    m_slots = table.insert(m_keys)
+                if pr is not None:
+                    pr.hist("hash.load_factor_pct").record(
+                        int(100 * nm // table.cap)
+                    )
+
+            # membership: m_keys is strictly ascending (CSR order), so a
+            # binary search replaces the per-key probe walk
+            if nm and np_:
+                idx = np.searchsorted(m_keys, p_keys)
+                idxc = np.minimum(idx, nm - 1)
+                found = m_keys[idxc] == p_keys
+            else:
+                idxc = np.empty(np_, dtype=np.int64)
+                found = np.zeros(np_, dtype=bool)
+            if table is not None and np_:
+                probes = _lookup_probes(table, m_slots, p_keys, idxc, found)
+                if counter is not None:
+                    counter.hash_probes += int(probes.sum())
+                if chain_hist is not None:
+                    chain_hist.record_array(probes)
+
+            if complement:
+                keep = ~found
+                vals_kept = np.asarray(
+                    mult(a.data[p_src[keep]], b.data[p_bpos[keep]]),
+                    dtype=np.float64,
+                )
+                keys, vals = _sort_reduce(p_keys[keep], vals_kept, semiring)
+                if counter is not None:
+                    counter.flops += int(keep.sum())
+                    counter.accum_removes += int(keys.shape[0])
+                g_rows, g_cols, g_vals = keys // n, keys % n, vals
+                if table is not None:
+                    table.keys[m_slots] = _EMPTY
+            else:
+                vals_m = vals_lease.require(max(1, nm))
+                set_m = set_lease.require(max(1, nm))
+                kept_idx = idxc[found]
+                vals_kept = np.asarray(
+                    mult(a.data[p_src[found]], b.data[p_bpos[found]]),
+                    dtype=np.float64,
+                )
+                _c_add_at(vals_m, kept_idx, vals_kept, add_ufunc)
+                set_m[kept_idx] = True
+                if counter is not None:
+                    counter.flops += int(found.sum())
+                    counter.accum_removes += nm
+                emit = set_m[:nm].copy()
+                if pr is not None and hi > lo:
+                    hits = np.bincount(m_rows[emit] - lo, minlength=hi - lo)
+                    pr.hist("mask.row_hits").record_array(hits)
+                    pr.hist("mask.row_misses").record_array(
+                        np.bincount(m_rows - lo, minlength=hi - lo) - hits
+                    )
+                g_rows = m_rows[emit]
+                g_cols = m_cols[emit]
+                g_vals = vals_m[:nm][emit]
+                # dirty-cell reset restores the leases' fill invariant
+                vals_m[kept_idx] = ident
+                set_m[kept_idx] = False
+                if table is not None:
+                    table.keys[m_slots] = _EMPTY
+
+            if slab is not None:
+                slab.write(g_rows, g_cols, g_vals)
+            elif g_rows.shape[0]:
+                out_rows.append(g_rows)
+                out_cols.append(g_cols)
+                out_vals.append(g_vals)
+
+    if slab is not None:
+        c = slab.finish()
+        if counter is not None:
+            counter.output_nnz += c.nnz
+        return c
     if out_rows:
         rows = np.concatenate(out_rows)
         cols = np.concatenate(out_cols)

@@ -45,6 +45,7 @@ from ..machine import MachineConfig, OpCounter
 from ..observe import tracer as _obs
 from ..semiring import PLUS_TIMES, Semiring
 from ..sparse import CSC, CSR
+from .kernels.batch import BATCH_TIERS, BATCHABLE_ALGOS, resolve_tier
 from .kernels.esc_kernel import masked_spgemm_esc_fast
 from .kernels.hash_kernel import masked_spgemm_hash_fast
 from .kernels.inner_kernel import masked_spgemm_inner_fast
@@ -114,6 +115,7 @@ def masked_spgemm(
     machine: Optional[MachineConfig] = None,
     backend: Optional[str] = None,
     shards=None,
+    batch: str = "auto",
     session=None,
 ) -> CSR:
     """Compute ``C = M .* (A @ B)`` (``!M`` with ``complement=True``).
@@ -163,6 +165,16 @@ def masked_spgemm(
         non-``None`` value routes execution through the engine (with the
         given ``algo`` forced, or the planner's choice for ``"auto"``);
         results are bit-for-bit identical to the unsharded path.
+    batch:
+        Batching tier of the MSA/Hash/ESC fast kernels (see
+        ``docs/kernels.md``): ``"auto"`` (default) picks the bucketed tier
+        when the call's upper-bound flops reach the machine's
+        ``batch_crossover_flops``, ``"bucket"`` / ``"perrow"`` force a
+        tier.  With ``algo="auto"`` the planner decides per row band (a
+        forced tier applies to every band).  Both tiers are bit-for-bit
+        identical in values and counters; on the bucketed tier a 2P call
+        additionally fuses the symbolic bound into output formation.
+        Ignored by algorithms without a bucketed tier.
     session:
         Optional :class:`repro.engine.ExecutionSession` holding cross-call
         caches for iterative workloads: plan cache, CSC transpose memo,
@@ -194,10 +206,13 @@ def masked_spgemm(
             machine=machine,
             backend=backend,
             shards=shards_t,
+            batch=batch,
             session=session,
         )
         return ct.transpose()
     key = algo.lower()
+    if batch not in BATCH_TIERS:
+        raise ValueError(f"batch must be one of {BATCH_TIERS}, got {batch!r}")
     if key != "auto" and key not in ALL_ALGOS:
         raise ValueError(
             f"unknown algorithm {algo!r}; expected one of "
@@ -237,6 +252,7 @@ def masked_spgemm(
             session=session,
             algo=None if key == "auto" else key,
             shards=shards,
+            batch=None if batch == "auto" else batch,
         )
     phases = 1 if phases is None else phases
     session = session or None
@@ -244,6 +260,22 @@ def masked_spgemm(
         session = None
     if complement and not supports_complement(key):
         raise ValueError(f"{ALGO_LABELS[key]} does not support complemented masks")
+
+    use_fast = impl == "fast" or (impl == "auto" and key in _FAST)
+    batch_tier = batch
+    if use_fast and key in BATCHABLE_ALGOS:
+        from ..machine import HASWELL
+
+        batch_tier = resolve_tier(
+            a, b, batch,
+            crossover=(machine or HASWELL).batch_crossover_flops,
+        )
+    # 2P + bucketed tier fuses the symbolic bound into output formation:
+    # the kernel allocates the final CSR slab from row_nnz and writes
+    # finished rows in place (no COO re-sort, no separate counting sweep
+    # beyond the one whose bound the session may already memoise)
+    fused = batch_tier == "bucket" and use_fast and key in BATCHABLE_ALGOS
+    hits_before = session.bound_cache_hits if session is not None else 0
 
     if phases == 2:
         # symbolic sweep: exact output pattern size, charged to the counter.
@@ -276,8 +308,8 @@ def masked_spgemm(
         else:
             one_phase_bound(a, b, mask, complement=complement)
         expected_nnz = None
+        row_nnz = None
 
-    use_fast = impl == "fast" or (impl == "auto" and key in _FAST)
     if impl == "fast" and key not in _FAST:
         raise ValueError(
             f"{ALGO_LABELS[key]} has no vectorized fast path; use impl='auto' "
@@ -289,7 +321,20 @@ def masked_spgemm(
         kwargs = dict(complement=complement, semiring=semiring, counter=counter)
         if key == "inner":
             kwargs["b_csc"] = b_csc
+        if key in BATCHABLE_ALGOS:
+            kwargs["batch"] = batch_tier
+            if fused and row_nnz is not None:
+                kwargs["row_nnz"] = row_nnz
         c = _FAST[key](a, b, mask, **kwargs)
+        if (
+            fused
+            and row_nnz is not None
+            and session is not None
+            and session.bound_cache_hits > hits_before
+        ):
+            # the numeric pass consumed a memoised symbolic bound: the whole
+            # counting sweep was skipped AND output formation was fused
+            session.fused_numeric_hits += 1
     else:
         tr = _obs.current()
         ref_cm = (

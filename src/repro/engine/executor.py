@@ -64,6 +64,7 @@ def _run_band(
     b_csc: Optional[CSC],
     session=None,
 ) -> CSR:
+    batch = getattr(band, "batch", "auto")
     if plan.threads > 1:
         parts = _partition_rows(plan.partition, a_band, b, plan.threads)
         return run_partitioned(
@@ -79,6 +80,7 @@ def _run_band(
             backend=backend,
             counter=counter,
             b_csc=b_csc,
+            batch=batch,
             session=session,
         )
     return masked_spgemm(
@@ -92,6 +94,7 @@ def _run_band(
         impl=impl,
         counter=counter,
         b_csc=b_csc,
+        batch=batch,
         session=session,
     )
 

@@ -37,6 +37,8 @@ __all__ = ["RowBand", "ShardGrid", "ExecutionPlan"]
 #: algorithms a plan may reference (kept in sync with repro.core by tests)
 _KNOWN_ALGOS = ("inner", "msa", "hash", "mca", "heap", "heapdot", "esc")
 _NO_COMPLEMENT = frozenset({"inner", "mca"})
+#: batch tiers a band may carry (kept in sync with repro.core.kernels.batch)
+_KNOWN_BATCH = ("auto", "bucket", "perrow")
 
 
 @dataclass
@@ -47,6 +49,14 @@ class RowBand:
     algo: str  #: kernel key ("msa", "hash", "mca", "inner", "esc", ...)
     reason: str = ""  #: one-line rationale recorded by the planner
     est_cycles: float = 0.0  #: modeled cycles for this band (0 if not modeled)
+    #: batching tier the band's kernel runs ("auto" | "bucket" | "perrow");
+    #: planner-resolved from the machine's batch_crossover_flops for
+    #: batchable algorithms, "perrow" for the rest
+    batch: str = "auto"
+    #: flops-size-class census of the band's rows ({bucket_id: nrows},
+    #: bucket = bit_length of the row's upper-bound flops); informational,
+    #: rendered by explain()/as_dict()
+    buckets: Dict[int, int] = field(default_factory=dict)
 
     @property
     def nrows(self) -> int:
@@ -208,6 +218,11 @@ class ExecutionPlan:
         for band in self.bands:
             if band.algo not in _KNOWN_ALGOS:
                 raise ValueError(f"plan references unknown algorithm {band.algo!r}")
+            if band.batch not in _KNOWN_BATCH:
+                raise ValueError(
+                    f"plan references unknown batch tier {band.batch!r}; "
+                    f"expected one of {_KNOWN_BATCH}"
+                )
             if self.complement and band.algo in _NO_COMPLEMENT:
                 raise ValueError(
                     f"plan routes a complemented mask to {band.algo!r}, "
@@ -243,6 +258,8 @@ class ExecutionPlan:
                     "nrows": band.nrows,
                     "reason": band.reason,
                     "est_cycles": band.est_cycles,
+                    "batch": band.batch,
+                    "buckets": {int(k): int(v) for k, v in band.buckets.items()},
                 }
                 for band in self.bands
             ],
@@ -275,9 +292,18 @@ class ExecutionPlan:
             pct = 100.0 * band.nrows / nrows
             cyc = f", ~{band.est_cycles:.3g} cycles" if band.est_cycles else ""
             why = f" — {band.reason}" if band.reason else ""
+            tier = f" batch={band.batch}" if band.batch != "auto" else ""
+            census = ""
+            if band.buckets:
+                top = sorted(
+                    band.buckets.items(), key=lambda kv: kv[1], reverse=True
+                )[:4]
+                body = ", ".join(f"2^{k}: {v}" for k, v in sorted(top))
+                more = len(band.buckets) - len(top)
+                census = f" buckets{{{body}{f', +{more} more' if more > 0 else ''}}}"
             lines.append(
                 f"  band {i}: algo={band.algo:<7s} rows={band.nrows}"
-                f" ({pct:.1f}%){cyc}{why}"
+                f" ({pct:.1f}%){cyc}{tier}{census}{why}"
             )
         if self.estimates:
             ranked = sorted(self.estimates.items(), key=lambda kv: kv[1])

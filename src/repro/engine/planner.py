@@ -29,6 +29,8 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..core.hybrid import classify_rows
+from ..core.kernels.batch import BATCH_TIERS, BATCHABLE_ALGOS, bucket_census, \
+    per_row_flops
 from ..core.masked_spgemm import ALGO_LABELS, ALL_ALGOS, supports_complement
 from ..machine import HASWELL, MachineConfig, RowCostModel, total_flops
 from ..parallel.executor import normalize_backend
@@ -115,6 +117,7 @@ class Planner:
         panel_width: Optional[int] = None,
         memory_budget_bytes: Optional[int] = None,
         shards=None,
+        batch: Optional[str] = None,
     ) -> ExecutionPlan:
         """Build a plan for ``C = M .* (A @ B)`` (``!M`` with complement).
 
@@ -134,6 +137,13 @@ class Planner:
         :class:`~repro.engine.plan.ShardGrid` is honoured verbatim.  A
         sharded plan is mutually exclusive with ``panel_width`` (its column
         panels already bound the working set).
+
+        ``batch`` forces the fast kernels' batching tier (``"bucket"`` |
+        ``"perrow"``; ``None``/``"auto"`` lets the planner decide per band
+        from :attr:`MachineConfig.batch_crossover_flops`).  Tiers are
+        bit-for-bit identical, so this is purely a performance choice; the
+        resolved tier and the band's flops-size-class census land on each
+        :class:`~repro.engine.plan.RowBand` for ``explain()``/``as_dict()``.
         """
         if a.ncols != b.nrows:
             raise ValueError(
@@ -148,6 +158,10 @@ class Planner:
             raise ValueError("phases must be 1 or 2")
         if algo is not None and algo.lower() == "auto":
             algo = None
+        if batch is not None and batch not in BATCH_TIERS:
+            raise ValueError(
+                f"batch must be one of {BATCH_TIERS} or None, got {batch!r}"
+            )
 
         notes: list = []
         if algo is not None:
@@ -178,6 +192,7 @@ class Planner:
                 phases if phases is not None else self._pick_phases(model, bands, notes)
             )
 
+        self._assign_batch(a, b, bands, batch, notes)
         if threads is None:
             threads = self._pick_threads(a.nrows, notes)
         if partition is None:
@@ -316,6 +331,51 @@ class Planner:
     # ------------------------------------------------------------------
     # scalar decisions
     # ------------------------------------------------------------------
+    def _assign_batch(self, a, b, bands, forced, notes) -> None:
+        """Resolve each band's kernel batching tier and bucket census.
+
+        Batchable algorithms (MSA/Hash/ESC fast kernels) get the bucketed
+        tier exactly when the band's upper-bound flops reach the machine's
+        ``batch_crossover_flops`` (or whatever ``batch=`` forces); the rest
+        are pinned to ``"perrow"``.  Both tiers are bit-for-bit identical,
+        so this is a pure performance decision — recorded on the band, with
+        a census note mirroring the shard census, so ``explain()`` shows
+        what will run batched and why.
+        """
+        if not bands:
+            return
+        per = per_row_flops(a, b)
+        crossover = int(self.machine.batch_crossover_flops)
+        bucketed_rows = 0
+        perrow_rows = 0
+        any_batchable = False
+        for band in bands:
+            rows = np.asarray(band.rows)
+            band_flops = int(per[rows].sum())
+            band.buckets = bucket_census(per[rows])
+            if band.algo not in BATCHABLE_ALGOS:
+                band.batch = "perrow"
+                continue
+            any_batchable = True
+            if forced is not None and forced != "auto":
+                band.batch = forced
+            else:
+                band.batch = "bucket" if band_flops >= crossover else "perrow"
+            if band.batch == "bucket":
+                bucketed_rows += band.nrows
+            else:
+                perrow_rows += band.nrows
+        if not any_batchable:
+            return
+        if forced is not None and forced != "auto":
+            notes.append(f"batch tier forced to {forced!r} by caller")
+        else:
+            notes.append(
+                f"batch tiers: {bucketed_rows} rows bucketed, "
+                f"{perrow_rows} rows per-row "
+                f"(crossover {crossover} upper-bound flops)"
+            )
+
     def _pick_phases(self, model, bands, notes) -> int:
         totals = {1: 0.0, 2: 0.0}
         for band in bands:

@@ -185,6 +185,10 @@ class ExecutionSession:
         self.shard_form_misses = 0
         self.bound_cache_hits = 0
         self.bound_cache_misses = 0
+        #: 2P numeric passes that consumed a memoised symbolic bound on the
+        #: bucketed kernel tier — the counting sweep was skipped and output
+        #: formation was fused into the numeric pass (docs/kernels.md)
+        self.fused_numeric_hits = 0
         self.fingerprint_digests = 0
 
     # -- fingerprints --------------------------------------------------
@@ -440,6 +444,7 @@ class ExecutionSession:
             "shard_form_misses": self.shard_form_misses,
             "bound_cache_hits": self.bound_cache_hits,
             "bound_cache_misses": self.bound_cache_misses,
+            "fused_numeric_hits": self.fused_numeric_hits,
             "fingerprint_digests": self.fingerprint_digests,
             "segments_reused": 0,
             "segments_published": 0,

@@ -64,6 +64,14 @@ class MachineConfig:
     #: default is generous next to CI-sized graphs — sharding is opt-in
     #: until operands genuinely outgrow one node's comfortable footprint.
     shard_memory_budget_bytes: int = 256 << 20
+    #: upper-bound flops at/above which ``batch="auto"`` runs the fast
+    #: kernels' bucketed tier (row-size-class batches, lazy expansion,
+    #: symbolic/numeric fusion); below it the fixed bucketing overhead
+    #: (argsort, chunk bookkeeping) outweighs the per-row dispatch it saves.
+    #: Both tiers are bit-for-bit identical, so this knob is purely a
+    #: performance crossover — the default sits above the CI-sized graphs
+    #: and below the Fig. 10/11 R-MAT scaling cases.
+    batch_crossover_flops: int = 1 << 18
 
     def seconds(self, cycles: float) -> float:
         """Convert modeled cycles to seconds."""

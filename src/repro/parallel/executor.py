@@ -177,6 +177,7 @@ def run_partitioned(
     backend: str = "thread",
     counter: Optional[OpCounter] = None,
     b_csc: Optional[CSC] = None,
+    batch: str = "auto",
     session=None,
 ) -> CSR:
     """Execute one algorithm over an explicit row partition.
@@ -205,7 +206,7 @@ def run_partitioned(
             a, b, mask,
             algo=algo, parts=parts, phases=phases, complement=complement,
             semiring=semiring, impl=impl, counter=counter, b_csc=b_csc,
-            session=session,
+            batch=batch, session=session,
         )
         if result is not None:
             return result
@@ -253,6 +254,7 @@ def run_partitioned(
                 impl=impl,
                 counter=counters[idx],
                 b_csc=b_csc,
+                batch=batch,
             )
             r, cc, v = c.to_coo()
             return (r + offset if offset else r), cc, v
@@ -279,6 +281,7 @@ def _run_partitioned_process(
     impl: str,
     counter: Optional[OpCounter],
     b_csc: Optional[CSC],
+    batch: str = "auto",
     session=None,
 ) -> Optional[CSR]:
     """The shared-memory process backend; ``None`` means "fall back to
@@ -350,6 +353,7 @@ def _run_partitioned_process(
                     semiring=token,
                     trace=tracer is not None,
                     probe=probes is not None,
+                    batch=batch,
                 )
             )
         triples, counters, span_batches, probe_batches = _pool.run_tasks(
@@ -396,6 +400,7 @@ def parallel_masked_spgemm(
     impl: str = "auto",
     backend: str = "thread",
     counter: Optional[OpCounter] = None,
+    batch: Optional[str] = None,
 ) -> CSR:
     """Masked SpGEMM with row-parallel execution.
 
@@ -404,7 +409,9 @@ def parallel_masked_spgemm(
     (alias ``"threads"``), ``"process"`` (shared-memory worker pool), or
     ``"auto"`` to let the planner's cost heuristic choose.  ``algo="auto"``
     lets the cost-model planner choose the algorithm (the thread count and
-    partition stay as forced here).
+    partition stay as forced here).  ``batch`` forces the kernels'
+    batching tier (``"bucket"`` / ``"perrow"``, see ``docs/kernels.md``);
+    ``None`` lets the machine's flop crossover decide per band.
 
     ``threads`` must be ``>= 1``; ``threads=1`` always takes the serial
     path directly — no pool of any kind is built.
@@ -436,6 +443,7 @@ def parallel_masked_spgemm(
         threads=min(threads, max(1, a.nrows)),
         partition=partition,
         backend=forced_backend,
+        batch=batch,
     )
     return execute(
         pl, a, b, mask,

@@ -177,6 +177,9 @@ class PartitionTask:
     trace: bool = False
     #: record worker-side probe histograms and ship them back likewise
     probe: bool = False
+    #: kernel batching tier ("auto" | "bucket" | "perrow"); the planner's
+    #: per-band resolution rides along so workers run the same tier
+    batch: str = "auto"
 
 
 def _run_task(task: PartitionTask):
@@ -263,6 +266,7 @@ def _run_task(task: PartitionTask):
                     impl=task.impl,
                     counter=counter,
                     b_csc=b_csc,
+                    batch=getattr(task, "batch", "auto"),
                 )
                 r, cc, v = c.to_coo()
                 if offset:

@@ -1,0 +1,506 @@
+"""Batched kernel tier: helper invariants, boundary cases and bit-for-bit
+equivalence of the bucketed tier against the per-row tier.
+
+The contract under test (docs/kernels.md): ``batch="bucket"`` and
+``batch="perrow"`` produce identical matrices (values included) and
+identical ``OpCounter`` totals — on every backend, with and without
+sessions, fused (2P + symbolic bound) or not — and the compiled-tier seam
+(:mod:`repro.core.kernels.compiled`) never changes results whichever side
+dispatches.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import compiled as compiled_mod
+from repro.core.kernels.batch import (
+    BATCH_TIERS,
+    DEFAULT_BATCH_CROSSOVER_FLOPS,
+    FusedSlab,
+    bucket_batches,
+    bucket_census,
+    bucket_ids,
+    expand_keys,
+    per_row_flops,
+    plan_flop_blocks,
+    resolve_tier,
+)
+from repro.core.kernels.expand import expand_products
+from repro.core.masked_spgemm import masked_spgemm
+from repro.engine import ExecutionSession, Planner, execute
+from repro.graphs import erdos_renyi, rmat
+from repro.machine import OpCounter
+from repro.machine.config import MachineConfig
+from repro.observe import probes as _probes
+from repro.parallel.pool import shutdown_pool
+from repro.semiring import MIN_PLUS, PLUS_PAIR, PLUS_TIMES
+from repro.sparse import CSR, read_mtx
+
+pytestmark = pytest.mark.batch
+
+DATA = Path(__file__).parent.parent / "data"
+BATCHABLE = ("msa", "hash", "esc")
+BACKENDS = ("serial", "thread", "process")
+
+
+def _rand_csr(nr, nc, density, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((nr, nc)) < density
+    rows, cols = np.nonzero(dense)
+    vals = rng.random(rows.size)
+    return CSR.from_coo(
+        (nr, nc), rows.astype(np.int64), cols.astype(np.int64), vals
+    )
+
+
+def _identical(c1: CSR, c2: CSR) -> bool:
+    return (
+        c1.shape == c2.shape
+        and np.array_equal(c1.indptr, c2.indptr)
+        and np.array_equal(c1.indices, c2.indices)
+        and np.array_equal(c1.data, c2.data)
+    )
+
+
+def _run(a, b, m, algo, tier, **kw):
+    counter = OpCounter()
+    out = masked_spgemm(
+        a, b, m, algo=algo, batch=tier, counter=counter, **kw
+    )
+    return out, counter.as_dict()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_pool()
+
+
+# ----------------------------------------------------------------------
+# helper invariants
+# ----------------------------------------------------------------------
+class TestHelpers:
+    def _greedy_reference(self, per_row, budget):
+        """The historical per-row greedy walk, kept as the oracle."""
+        blocks, lo, acc = [], 0, 0
+        for i, f in enumerate(per_row):
+            if acc > 0 and acc + int(f) > budget:
+                blocks.append((lo, i))
+                lo, acc = i, 0
+            acc += int(f)
+        if lo < len(per_row):
+            blocks.append((lo, len(per_row)))
+        return blocks
+
+    def test_plan_flop_blocks_matches_greedy_walk(self):
+        rng = np.random.default_rng(0)
+        for trial in range(200):
+            n = int(rng.integers(0, 40))
+            per = rng.integers(0, 50, size=n).astype(np.int64)
+            # salt with zero runs and mega-rows — the historical edge cases
+            if n and trial % 3 == 0:
+                per[rng.integers(0, n)] = 0
+            if n and trial % 5 == 0:
+                per[rng.integers(0, n)] = 10_000
+            budget = int(rng.integers(1, 60))
+            got = list(plan_flop_blocks(per, budget))
+            assert got == self._greedy_reference(per, budget)
+
+    def test_bucket_ids_are_bit_lengths(self):
+        per = np.array([0, 1, 2, 3, 4, 7, 8, 1023, 1024], dtype=np.int64)
+        want = [int(x).bit_length() for x in per]
+        assert bucket_ids(per).tolist() == want
+
+    def test_bucket_batches_partition_rows_exactly_once(self):
+        rng = np.random.default_rng(1)
+        per = rng.integers(0, 4096, size=300).astype(np.int64)
+        per[:40] = 0
+        seen = np.zeros(per.size, dtype=np.int64)
+        for b, rows in bucket_batches(per, flop_budget=256, width_cap=16):
+            assert rows.size <= 16
+            assert bool(np.all(np.diff(rows) > 0))  # ascending within chunk
+            assert bool(np.all(bucket_ids(per[rows]) == b))
+            np.add.at(seen, rows, 1)
+        assert bool(np.all(seen == 1))
+
+    def test_bucket_batches_skips_empty_bucket_on_request(self):
+        per = np.array([0, 0, 5, 0, 9], dtype=np.int64)
+        got = [r for _, r in bucket_batches(per, 64, include_empty=False)]
+        assert sorted(int(x) for rows in got for x in rows) == [2, 4]
+
+    def test_bucket_census(self):
+        per = np.array([0, 0, 1, 2, 3, 8], dtype=np.int64)
+        assert bucket_census(per) == {0: 2, 1: 1, 2: 2, 4: 1}
+        assert bucket_census(np.empty(0, dtype=np.int64)) == {}
+
+    def test_resolve_tier_crossover_and_validation(self):
+        a = _rand_csr(20, 20, 0.3, 0)
+        b = _rand_csr(20, 20, 0.3, 1)
+        total = int(per_row_flops(a, b).sum())
+        assert resolve_tier(a, b, "auto", crossover=total + 1) == "perrow"
+        assert resolve_tier(a, b, "auto", crossover=total) == "bucket"
+        assert resolve_tier(a, b, "bucket", crossover=10**12) == "bucket"
+        with pytest.raises(ValueError, match="batch must be one of"):
+            resolve_tier(a, b, "bogus")
+        assert DEFAULT_BATCH_CROSSOVER_FLOPS == MachineConfig(
+            name="x", cores=1, ghz=1.0
+        ).batch_crossover_flops
+
+    def test_expand_keys_reproduces_expand_products(self):
+        a = _rand_csr(25, 18, 0.25, 2)
+        b = _rand_csr(18, 30, 0.25, 3)
+        rows = np.arange(a.nrows, dtype=np.int64)
+        p_local, p_src, p_bpos = expand_keys(a, b, rows)
+        pr, pc, pv = expand_products(a, b, 0, a.nrows, PLUS_TIMES)
+        assert np.array_equal(rows[p_local], pr)
+        assert np.array_equal(b.indices[p_bpos], pc)
+        lazy = PLUS_TIMES.mult_ufunc(a.data[p_src], b.data[p_bpos])
+        assert np.array_equal(np.asarray(lazy, dtype=np.float64), pv)
+
+    def test_fused_slab_detects_symbolic_mismatch(self):
+        slab = FusedSlab((2, 4), np.array([1, 1], dtype=np.int64))
+        with pytest.raises(AssertionError, match="symbolic/numeric mismatch"):
+            slab.write(
+                np.array([0, 0]), np.array([1, 2]), np.array([1.0, 2.0])
+            )
+        slab2 = FusedSlab((2, 4), np.array([1, 1], dtype=np.int64))
+        slab2.write(np.array([0]), np.array([1]), np.array([1.0]))
+        with pytest.raises(AssertionError, match="symbolic/numeric mismatch"):
+            slab2.finish()
+
+
+# ----------------------------------------------------------------------
+# bucket boundary cases
+# ----------------------------------------------------------------------
+class TestBucketBoundaries:
+    def _assert_tiers_identical(self, a, b, m, *, semiring=PLUS_TIMES):
+        for algo in BATCHABLE:
+            for complement in (False, True):
+                for phases in (1, 2):
+                    o1, c1 = _run(
+                        a, b, m, algo, "perrow",
+                        complement=complement, phases=phases,
+                        semiring=semiring,
+                    )
+                    o2, c2 = _run(
+                        a, b, m, algo, "bucket",
+                        complement=complement, phases=phases,
+                        semiring=semiring,
+                    )
+                    assert _identical(o1, o2), (algo, complement, phases)
+                    assert c1 == c2, (algo, complement, phases)
+
+    def test_empty_rows(self):
+        # half of A's rows (and a few mask rows) are structurally empty —
+        # they land in bucket 0 and must emit/charge exactly nothing
+        a = _rand_csr(30, 20, 0.3, 10)
+        keep = np.repeat(np.arange(30, dtype=np.int64)[::2], a.row_nnz()[::2])
+        sel = np.isin(
+            np.repeat(np.arange(30, dtype=np.int64), a.row_nnz()), keep
+        )
+        rows, cols, vals = a.to_coo()
+        a = CSR.from_coo((30, 20), rows[sel], cols[sel], vals[sel])
+        b = _rand_csr(20, 25, 0.3, 11)
+        m = _rand_csr(30, 25, 0.4, 12)
+        self._assert_tiers_identical(a, b, m)
+
+    def test_all_rows_empty(self):
+        a = CSR.empty((8, 6))
+        b = _rand_csr(6, 7, 0.5, 13)
+        m = _rand_csr(8, 7, 0.5, 14)
+        self._assert_tiers_identical(a, b, m)
+
+    def test_single_mega_row_dominates_its_bucket(self):
+        # one row expands to ~nc*k products (far over any chunk budget on
+        # its own), the rest are tiny — exercises the over-budget
+        # one-row-chunk path and bucket skew
+        nr, k, nc = 20, 40, 40
+        rng = np.random.default_rng(15)
+        rows = [np.zeros(k, dtype=np.int64)]
+        cols = [np.arange(k, dtype=np.int64)]
+        for i in range(1, nr):
+            rows.append(np.full(1, i, dtype=np.int64))
+            cols.append(rng.integers(0, k, size=1).astype(np.int64))
+        rows, cols = np.concatenate(rows), np.concatenate(cols)
+        a = CSR.from_coo((nr, k), rows, cols, rng.random(rows.size))
+        b = _rand_csr(k, nc, 0.6, 16)
+        m = _rand_csr(nr, nc, 0.5, 17)
+        per = per_row_flops(a, b)
+        assert int(per[0]) > 4 * int(per[1:].max())
+        self._assert_tiers_identical(a, b, m)
+
+    def test_all_rows_one_bucket(self):
+        # uniform 4-nnz rows against a uniform B: a single size class
+        nr, k, nc = 24, 16, 16
+        rng = np.random.default_rng(18)
+        cols = np.stack([
+            rng.choice(k, size=4, replace=False) for _ in range(nr)
+        ]).astype(np.int64)
+        rows = np.repeat(np.arange(nr, dtype=np.int64), 4)
+        a = CSR.from_coo((nr, k), rows, cols.ravel(), rng.random(rows.size))
+        bc = np.stack([
+            rng.choice(nc, size=3, replace=False) for _ in range(k)
+        ]).astype(np.int64)
+        b = CSR.from_coo(
+            (k, nc),
+            np.repeat(np.arange(k, dtype=np.int64), 3),
+            bc.ravel(),
+            rng.random(3 * k),
+        )
+        m = _rand_csr(nr, nc, 0.5, 19)
+        assert len(bucket_census(per_row_flops(a, b))) == 1
+        self._assert_tiers_identical(a, b, m)
+
+    def test_tiny_flop_budget_forces_many_chunks(self):
+        g = rmat(7, seed=5).pattern().tril(-1)
+        for algo in BATCHABLE:
+            c1 = OpCounter()
+            c2 = OpCounter()
+            kern = masked_spgemm  # same entry, different tiers
+            o1 = kern(g, g, g, algo=algo, batch="perrow", counter=c1,
+                      semiring=PLUS_PAIR)
+            o2 = kern(g, g, g, algo=algo, batch="bucket", counter=c2,
+                      semiring=PLUS_PAIR)
+            assert _identical(o1, o2) and c1.as_dict() == c2.as_dict()
+
+    def test_non_add_semiring_equivalence(self):
+        # MIN_PLUS routes around the compiled seam (add_ufunc is minimum)
+        a = _rand_csr(30, 30, 0.2, 20)
+        b = _rand_csr(30, 30, 0.2, 21)
+        m = _rand_csr(30, 30, 0.4, 22)
+        self._assert_tiers_identical(a, b, m, semiring=MIN_PLUS)
+
+
+# ----------------------------------------------------------------------
+# backend equivalence: karate / ER / R-MAT x serial / thread / process
+# ----------------------------------------------------------------------
+def _graphs():
+    karate = read_mtx(DATA / "karate.mtx")
+    er = erdos_renyi(48, 48, 3, seed=7, values="uniform")
+    rm = rmat(6, seed=3)
+    return [("karate", karate), ("er", er), ("rmat", rm)]
+
+
+@pytest.fixture(scope="module", params=_graphs(), ids=lambda p: p[0])
+def graph(request):
+    return request.param[1]
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("algo", BATCHABLE)
+    def test_bucket_matches_perrow_across_backends(self, graph, backend, algo):
+        g = graph
+        results = {}
+        for tier in ("perrow", "bucket"):
+            pl = Planner().plan(
+                g, g, g, algo=algo, threads=3, backend=backend, batch=tier,
+            )
+            counter = OpCounter()
+            results[tier] = (
+                execute(pl, g, g, g, semiring=PLUS_PAIR, counter=counter),
+                counter.as_dict(),
+            )
+        assert _identical(results["perrow"][0], results["bucket"][0])
+        assert results["perrow"][1] == results["bucket"][1]
+
+    @pytest.mark.parametrize("use_session", (False, True), ids=("nosess", "sess"))
+    def test_sessions_do_not_change_results(self, graph, use_session):
+        g = graph
+        base = {}
+        for algo in BATCHABLE:
+            base[algo], _ = _run(g, g, g, algo, "perrow", phases=2,
+                                 semiring=PLUS_PAIR)
+        session = ExecutionSession() if use_session else None
+        for _ in range(2):  # second pass exercises the bound memo / fusion
+            for algo in BATCHABLE:
+                out = masked_spgemm(
+                    g, g, g, algo=algo, batch="bucket", phases=2,
+                    semiring=PLUS_PAIR, session=session,
+                )
+                assert _identical(out, base[algo])
+        if use_session:
+            # the bound memo is keyed on operand structure, so all three
+            # algos share entries; every memo-served bucket call fused
+            stats = session.stats()
+            assert stats["bound_cache_hits"] >= len(BATCHABLE)
+            assert stats["fused_numeric_hits"] == stats["bound_cache_hits"]
+
+    def test_probe_histograms_match_between_tiers_for_hash(self, graph):
+        g = graph
+        exports = {}
+        for tier in ("perrow", "bucket"):
+            with _probes.probing() as pr:
+                masked_spgemm(g, g, g, algo="hash", batch=tier,
+                              semiring=PLUS_PAIR)
+            exports[tier] = pr.export()
+        # hash keeps the per-row tier's blocks, so every histogram —
+        # probe chains included — must be bit-for-bit identical
+        assert exports["perrow"] == exports["bucket"]
+
+
+# ----------------------------------------------------------------------
+# symbolic/numeric fusion
+# ----------------------------------------------------------------------
+class TestFusion:
+    def test_fused_matches_two_pass(self, graph):
+        g = graph
+        for algo in BATCHABLE:
+            for complement in (False, True):
+                o1, c1 = _run(g, g, g, algo, "perrow", phases=2,
+                              complement=complement, semiring=PLUS_PAIR)
+                o2, c2 = _run(g, g, g, algo, "bucket", phases=2,
+                              complement=complement, semiring=PLUS_PAIR)
+                assert _identical(o1, o2), (algo, complement)
+                assert c1 == c2, (algo, complement)
+
+    def test_fused_output_is_clean_csr(self):
+        g = rmat(6, seed=9).pattern().tril(-1)
+        out = masked_spgemm(g, g, g, algo="hash", batch="bucket", phases=2,
+                            semiring=PLUS_PAIR)
+        assert out.sorted_indices
+        assert int(out.indptr[-1]) == out.indices.shape[0] == out.data.shape[0]
+
+    def test_fusion_requires_two_phases(self):
+        # 1P has no symbolic bound: bucket tier must still assemble via COO
+        g = rmat(6, seed=9).pattern().tril(-1)
+        o1 = masked_spgemm(g, g, g, algo="msa", batch="bucket", phases=1,
+                           semiring=PLUS_PAIR)
+        o2 = masked_spgemm(g, g, g, algo="msa", batch="perrow", phases=1,
+                           semiring=PLUS_PAIR)
+        assert _identical(o1, o2)
+
+    def test_session_fusion_telemetry_only_counts_memo_hits(self):
+        g = rmat(6, seed=4).pattern().tril(-1)
+        session = ExecutionSession()
+        masked_spgemm(g, g, g, algo="hash", batch="bucket", phases=2,
+                      semiring=PLUS_PAIR, session=session)
+        assert session.stats()["fused_numeric_hits"] == 0  # first: a miss
+        masked_spgemm(g, g, g, algo="hash", batch="bucket", phases=2,
+                      semiring=PLUS_PAIR, session=session)
+        assert session.stats()["fused_numeric_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# planner / plan reporting
+# ----------------------------------------------------------------------
+class TestPlanReporting:
+    def test_bands_carry_batch_and_census(self):
+        g = rmat(7, seed=5).pattern().tril(-1)
+        pl = Planner().plan(g, g, g, batch="bucket")
+        d = pl.as_dict()
+        assert d["bands"]
+        for band, entry in zip(pl.bands, d["bands"]):
+            assert entry["batch"] == band.batch
+            assert entry["buckets"] == {int(k): int(v)
+                                        for k, v in band.buckets.items()}
+            assert band.batch in BATCH_TIERS
+
+    def test_explain_renders_tier_and_census(self):
+        g = rmat(7, seed=5).pattern().tril(-1)
+        text = Planner().plan(g, g, g, batch="bucket").explain()
+        assert "batch=" in text and "buckets{" in text
+        assert "batch tier forced to 'bucket' by caller" in text
+
+    def test_auto_note_mentions_crossover(self):
+        g = rmat(7, seed=5).pattern().tril(-1)
+        text = Planner().plan(g, g, g).explain()
+        assert "crossover" in text and "batch tiers:" in text
+
+    def test_machine_crossover_drives_auto(self):
+        g = rmat(7, seed=5).pattern().tril(-1)
+        lo = MachineConfig(name="lo", cores=4, ghz=2.0, batch_crossover_flops=1)
+        hi = MachineConfig(name="hi", cores=4, ghz=2.0,
+                           batch_crossover_flops=1 << 60)
+        pl_lo = Planner(lo).plan(g, g, g)
+        pl_hi = Planner(hi).plan(g, g, g)
+        batchable_lo = [b for b in pl_lo.bands if b.algo in BATCHABLE]
+        if batchable_lo:
+            assert all(b.batch == "bucket" for b in batchable_lo)
+        assert all(
+            b.batch == "perrow" for b in pl_hi.bands if b.algo in BATCHABLE
+        )
+
+    def test_invalid_batch_values_rejected(self):
+        g = rmat(6, seed=5).pattern().tril(-1)
+        with pytest.raises(ValueError, match="batch"):
+            masked_spgemm(g, g, g, algo="msa", batch="bogus")
+        with pytest.raises(ValueError, match="batch"):
+            Planner().plan(g, g, g, batch="bogus")
+        pl = Planner().plan(g, g, g)
+        pl.bands[0].batch = "bogus"
+        with pytest.raises(ValueError, match="batch tier"):
+            pl.validate()
+
+    def test_non_batchable_algos_pinned_perrow(self):
+        g = rmat(7, seed=5).pattern().tril(-1)
+        pl = Planner().plan(g, g, g, algo="inner", batch="bucket")
+        assert all(b.batch == "perrow" for b in pl.bands)
+        out = execute(pl, g, g, g, semiring=PLUS_PAIR)
+        ref = masked_spgemm(g, g, g, algo="inner", semiring=PLUS_PAIR)
+        assert _identical(out, ref)
+
+
+# ----------------------------------------------------------------------
+# compiled-tier seam
+# ----------------------------------------------------------------------
+class TestCompiledSeam:
+    def test_status_shape(self):
+        st = compiled_mod.status()
+        assert set(st) == {"mode", "have_numba", "enabled"}
+        assert st["mode"] in ("auto", "off", "require")
+
+    def test_add_at_fallback_matches_ufunc(self):
+        rng = np.random.default_rng(30)
+        target = np.zeros(16)
+        idx = rng.integers(0, 16, size=200).astype(np.int64)
+        vals = rng.random(200)
+        want = np.zeros(16)
+        np.add.at(want, idx, vals)
+        compiled_mod.add_at(target, idx, vals)
+        assert np.array_equal(target, want)
+
+    def test_seam_dispatches_compiled_when_eligible(self, monkeypatch):
+        calls = []
+
+        def fake(target, idx, vals):
+            calls.append(idx.shape[0])
+            np.add.at(target, idx, vals)  # same sequential semantics
+
+        monkeypatch.setattr(compiled_mod, "_COMPILED_ADD_AT", fake)
+        g = rmat(6, seed=3).pattern().tril(-1)
+        ref = masked_spgemm(g, g, g, algo="msa", batch="perrow",
+                            semiring=PLUS_PAIR)
+        out = masked_spgemm(g, g, g, algo="msa", batch="bucket",
+                            semiring=PLUS_PAIR)
+        assert calls, "compiled seam was never exercised"
+        assert _identical(out, ref)
+        assert compiled_mod.compiled_enabled()
+
+    def test_seam_bypasses_compiled_for_non_add_semirings(self, monkeypatch):
+        def fake(target, idx, vals):  # pragma: no cover - must not run
+            raise AssertionError("compiled path taken for a non-add semiring")
+
+        monkeypatch.setattr(compiled_mod, "_COMPILED_ADD_AT", fake)
+        target = np.full(4, np.inf)
+        compiled_mod.add_at(
+            target,
+            np.array([1, 1], dtype=np.int64),
+            np.array([3.0, 2.0]),
+            add_ufunc=np.minimum,
+        )
+        assert target[1] == 2.0
+
+    @pytest.mark.skipif(
+        not compiled_mod.HAVE_NUMBA, reason="numba not installed"
+    )
+    def test_compiled_tier_bitwise_equivalence(self):
+        # the numba CI leg runs this for real; local runs skip cleanly
+        assert compiled_mod.compiled_enabled()
+        g = rmat(7, seed=5).pattern().tril(-1)
+        for algo in BATCHABLE:
+            o1, c1 = _run(g, g, g, algo, "perrow", semiring=PLUS_PAIR)
+            o2, c2 = _run(g, g, g, algo, "bucket", semiring=PLUS_PAIR)
+            assert _identical(o1, o2) and c1 == c2

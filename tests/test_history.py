@@ -69,11 +69,11 @@ class TestCollection:
             "git_sha", "python", "numpy", "cpu_count", "platform", "machine",
         }
         # 3 pinned schemes x (1 TC case + 2x2 grid cells), plus the
-        # sessioned iterative-app records and the sharded TC record
-        assert len(tiny_run["records"]) == 18
+        # sessioned iterative-app records and the sharded/batched TC records
+        assert len(tiny_run["records"]) == 19
         schemes = {r["scheme"] for r in tiny_run["records"]}
         assert schemes == set(PINNED_SCHEME_NAMES) | {
-            "ktruss-session", "bc-session", "tc-sharded",
+            "ktruss-session", "bc-session", "tc-sharded", "tc-batched",
         }
 
     def test_record_carries_work_certificate(self, tiny_run):
@@ -84,8 +84,13 @@ class TestCollection:
             if "session" in r:
                 # sessioned app records certify cache telemetry instead of
                 # probe histograms; work counters must exclude the cache
-                # counters (those live under "session")
-                assert r["session"]["plan_cache_hits"] > 0
+                # counters (those live under "session").  tc-batched runs
+                # the explicit-algo route (no plan cache) — its certificate
+                # is the fused symbolic-bound reuse instead.
+                if r["scheme"] == "tc-batched":
+                    assert r["session"]["fused_numeric_hits"] > 0
+                else:
+                    assert r["session"]["plan_cache_hits"] > 0
                 assert "plan_cache_hits" not in r["counters"]
                 continue
             assert r["bytes_moved_estimate"] > 0
