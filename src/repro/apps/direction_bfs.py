@@ -7,9 +7,17 @@ of the graph, *pull* — every unvisited vertex checks its in-neighbours for
 frontier membership, which is a masked SpMV whose mask is the unvisited
 set.
 
-The per-level direction choice uses the standard work heuristic: pull when
-the frontier's outgoing-edge count exceeds ``alpha`` times the unexplored
-edge count (Beamer's parameterisation, simplified).
+The per-level direction choice has two modes.  The default is the standard
+work heuristic: pull when the frontier's outgoing-edge count exceeds
+``alpha`` times the unexplored edge count (Beamer's parameterisation,
+simplified).  With ``machine=`` the decision instead goes through the
+machine cost model (:func:`repro.machine.estimate_spmv_direction`), which
+prices both directions in cycles from the frontier/unvisited statistics —
+the same model the planner uses for SpGEMM bands, so a fitted config
+(``machine="fitted"``) recalibrates BFS steering too.  Every level records
+its decision, the modeled cycle estimates and the frontier density in an
+``app.bfs.level`` span, which the prediction ledger
+(:mod:`repro.observe.ledger`) pairs with the level's measured time.
 """
 
 from __future__ import annotations
@@ -19,7 +27,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..machine import OpCounter
+from ..machine import OpCounter, estimate_spmv_direction, resolve_machine
+from ..observe import tracer as _obs
 from ..semiring import PLUS_PAIR
 from ..sparse import CSC, CSR
 from ..core.spmv import masked_spmv_pull, masked_spmv_push
@@ -42,12 +51,18 @@ def direction_optimized_bfs(
     *,
     alpha: float = 4.0,
     force: Optional[str] = None,
+    machine=None,
     counter: Optional[OpCounter] = None,
 ) -> DirectionBFSResult:
     """BFS from ``source`` with per-level push/pull direction optimization.
 
     ``force``: pin the direction to ``"push"`` or ``"pull"`` (for the
     ablation bench); default chooses per level.
+
+    ``machine``: a :class:`~repro.machine.MachineConfig` (or a name such as
+    ``"haswell"`` / ``"fitted"``) routes the per-level decision through the
+    cost model's :func:`~repro.machine.estimate_spmv_direction` instead of
+    the ``alpha`` heuristic; ``None`` (default) keeps the heuristic.
     """
     n = a.nrows
     if a.ncols != n:
@@ -56,6 +71,8 @@ def direction_optimized_bfs(
         raise ValueError("source out of range")
     if force not in (None, "push", "pull"):
         raise ValueError("force must be None, 'push' or 'pull'")
+    if machine is not None:
+        machine = resolve_machine(machine)
     a = a.pattern()
     csc = CSC.from_csr(a)
     deg = a.row_nnz()
@@ -73,26 +90,56 @@ def direction_optimized_bfs(
     directions: List[str] = []
     depth = 0
     while frontier.any():
+        frontier_vertices = int(frontier.sum())
         frontier_edges = int(deg[frontier].sum())
         remaining = max(1, total_edges - explored)
+        est = None
         if force is not None:
             direction = force
+            decision_source = "forced"
+        elif machine is not None:
+            est = estimate_spmv_direction(
+                frontier_vertices=frontier_vertices,
+                frontier_edges=frontier_edges,
+                unvisited_vertices=n - int(visited.sum()),
+                unvisited_edges=remaining,
+                nvertices=n,
+                machine=machine,
+            )
+            direction = est.direction
+            decision_source = "cost_model"
         else:
             direction = "pull" if frontier_edges * alpha > remaining else "push"
-        if direction == "push":
-            # next = !visited .* (frontier^T A)
-            _, nxt = masked_spmv_push(
-                a, x_vals, frontier, visited,
-                complement=True, semiring=PLUS_PAIR, counter=counter,
+            decision_source = "alpha"
+        tr = _obs.current()
+        level_cm = (
+            tr.span(
+                "app.bfs.level",
+                {"level": depth + 1, "direction": direction,
+                 "decision_source": decision_source,
+                 "frontier_density": frontier_vertices / max(1, n),
+                 "frontier_edges": frontier_edges,
+                 "est_push_cycles": est.push_cycles if est is not None else 0.0,
+                 "est_pull_cycles": est.pull_cycles if est is not None else 0.0},
+                counter=counter,
             )
-        else:
-            # next = unvisited .* (frontier^T A): pull with the unvisited
-            # set as a plain mask — the direction-optimized formulation
-            _, nxt = masked_spmv_pull(
-                csc, x_vals, frontier, ~visited,
-                semiring=PLUS_PAIR, counter=counter,
-            )
-        nxt &= ~visited
+            if tr is not None else _obs.NULL_SPAN
+        )
+        with level_cm:
+            if direction == "push":
+                # next = !visited .* (frontier^T A)
+                _, nxt = masked_spmv_push(
+                    a, x_vals, frontier, visited,
+                    complement=True, semiring=PLUS_PAIR, counter=counter,
+                )
+            else:
+                # next = unvisited .* (frontier^T A): pull with the unvisited
+                # set as a plain mask — the direction-optimized formulation
+                _, nxt = masked_spmv_pull(
+                    csc, x_vals, frontier, ~visited,
+                    semiring=PLUS_PAIR, counter=counter,
+                )
+            nxt &= ~visited
         if not nxt.any():
             break
         depth += 1

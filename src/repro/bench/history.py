@@ -193,6 +193,9 @@ def collect_record(
         "counters": mx["counter_totals"],
         "bytes_moved_estimate": mx["bytes_moved_estimate"],
         "probes": mx["probes"],
+        # per-kind misprediction summary from the traced pass (summary only
+        # — the full rows would bloat the history; fit regresses counters)
+        "predictions": mx["predictions"]["summary"],
     }
 
 

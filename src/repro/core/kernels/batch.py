@@ -37,6 +37,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ...observe import tracer as _obs
 from ...sparse import CSR
 
 __all__ = [
@@ -162,6 +163,7 @@ def bucket_batches(
     ids = bucket_ids(per_row)
     if ids.size == 0:
         return
+    tr = _obs.current()
     order = np.argsort(ids, kind="stable")  # row order preserved per bucket
     sorted_ids = ids[order]
     boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
@@ -177,7 +179,19 @@ def bucket_batches(
             chunk = min(chunk, int(width_cap))
         chunk = max(1, chunk)
         for lo in range(0, rows.size, chunk):
-            yield b, rows[lo : lo + chunk]
+            chunk_rows = rows[lo : lo + chunk]
+            if tr is None:
+                yield b, chunk_rows
+            else:
+                # the span stays open across the yield, so its duration is
+                # exactly the kernel's processing time for this chunk (the
+                # generator is suspended inside the with-block)
+                with tr.span(
+                    "kernel.bucket",
+                    {"bucket": b, "rows": int(chunk_rows.size),
+                     "flops": int(per_row[chunk_rows].sum())},
+                ):
+                    yield b, chunk_rows
 
 
 def rows_entries(

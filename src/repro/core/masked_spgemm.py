@@ -150,7 +150,10 @@ def masked_spgemm(
         traversal order changes; results are identical.
     machine:
         :class:`MachineConfig` the ``"auto"`` planner targets (default
-        Haswell); ignored for explicit algorithms.
+        Haswell), or a string: a preset name (``"haswell"``, ``"knl"``)
+        or ``"fitted"`` for the history-calibrated config persisted by
+        ``python -m repro.machine fit`` (``docs/calibration.md``).  For
+        explicit algorithms only the batch crossover is consulted.
     backend:
         Execution backend for ``algo="auto"``: ``None`` lets the planner's
         cost model choose (``serial`` | ``thread`` | ``process``), a string
@@ -183,6 +186,11 @@ def masked_spgemm(
         ``False`` (the app-level "disable caching" sentinel) is accepted
         and means the same as ``None`` here: no cross-call caching.
     """
+    if machine is not None and not isinstance(machine, MachineConfig):
+        # accept preset names and "fitted" wherever a config is accepted
+        from ..machine import resolve_machine
+
+        machine = resolve_machine(machine)
     if orientation not in ("row", "column"):
         raise ValueError("orientation must be 'row' or 'column'")
     if orientation == "column":
@@ -264,11 +272,11 @@ def masked_spgemm(
     use_fast = impl == "fast" or (impl == "auto" and key in _FAST)
     batch_tier = batch
     if use_fast and key in BATCHABLE_ALGOS:
-        from ..machine import HASWELL
+        from ..machine import resolve_machine as _resolve_machine
 
         batch_tier = resolve_tier(
             a, b, batch,
-            crossover=(machine or HASWELL).batch_crossover_flops,
+            crossover=_resolve_machine(machine).batch_crossover_flops,
         )
     # 2P + bucketed tier fuses the symbolic bound into output formation:
     # the kernel allocates the final CSR slab from row_nnz and writes

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core.chunked import column_panels, restrict_columns
 from ..core.masked_spgemm import masked_spgemm
-from ..machine import HASWELL, MachineConfig, OpCounter, flops_per_row
+from ..machine import OpCounter, flops_per_row
 from ..observe import tracer as _obs
 from ..parallel.executor import normalize_backend, row_slice, run_partitioned
 from ..parallel.shards import run_sharded
@@ -243,6 +243,13 @@ def execute(
         b_csc = session.csc_of(b) if session is not None else CSC.from_csr(b)
 
     tr = _obs.current()
+    if tr is not None and counter is None:
+        # under tracing, every band span carries its counter delta so the
+        # prediction ledger can pair measured work with the band's modeled
+        # cycles/bytes; allocate a run-local counter when the caller did
+        # not pass one (tracing already pays for itself — the disabled
+        # path is untouched)
+        counter = OpCounter()
     exec_cm = (
         tr.span(
             "engine.execute",
@@ -268,7 +275,11 @@ def execute(
                 tr.span(
                     "engine.band",
                     {"band": i, "algo": band.algo, "rows": band.nrows,
-                     "reason": band.reason, "est_cycles": band.est_cycles},
+                     "reason": band.reason, "est_cycles": band.est_cycles,
+                     "est_bytes": band.est_bytes, "batch": band.batch,
+                     "buckets": dict(band.buckets), "backend": backend,
+                     "phases": plan.phases},
+                    counter=counter,
                 )
                 if tr is not None else _obs.NULL_SPAN
             )
@@ -310,7 +321,7 @@ def plan_and_execute(
     b: CSR,
     mask: CSR,
     *,
-    machine: Optional[MachineConfig] = None,
+    machine=None,
     complement: bool = False,
     phases: Optional[int] = None,
     semiring: Semiring = PLUS_TIMES,
@@ -347,7 +358,7 @@ def plan_and_execute(
             semiring=semiring, impl=impl, counter=counter,
             backend=None, b_csc=b_csc, session=session,
         )
-    pl = (planner or Planner(machine or HASWELL)).plan(
+    pl = (planner or Planner(machine)).plan(
         a, b, mask, complement=complement, phases=phases, **plan_kwargs
     )
     return execute(

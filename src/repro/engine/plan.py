@@ -49,6 +49,9 @@ class RowBand:
     algo: str  #: kernel key ("msa", "hash", "mca", "inner", "esc", ...)
     reason: str = ""  #: one-line rationale recorded by the planner
     est_cycles: float = 0.0  #: modeled cycles for this band (0 if not modeled)
+    #: modeled memory traffic for this band in bytes (0 if not modeled);
+    #: the prediction ledger pairs it with the measured counters
+    est_bytes: float = 0.0
     #: batching tier the band's kernel runs ("auto" | "bucket" | "perrow");
     #: planner-resolved from the machine's batch_crossover_flops for
     #: batchable algorithms, "perrow" for the rest
@@ -258,6 +261,7 @@ class ExecutionPlan:
                     "nrows": band.nrows,
                     "reason": band.reason,
                     "est_cycles": band.est_cycles,
+                    "est_bytes": band.est_bytes,
                     "batch": band.batch,
                     "buckets": {int(k): int(v) for k, v in band.buckets.items()},
                 }

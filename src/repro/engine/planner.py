@@ -32,7 +32,8 @@ from ..core.hybrid import classify_rows
 from ..core.kernels.batch import BATCH_TIERS, BATCHABLE_ALGOS, bucket_census, \
     per_row_flops
 from ..core.masked_spgemm import ALGO_LABELS, ALL_ALGOS, supports_complement
-from ..machine import HASWELL, MachineConfig, RowCostModel, total_flops
+from ..machine import RowCostModel, total_flops
+from ..machine.fit import resolve_machine
 from ..parallel.executor import normalize_backend
 from .plan import ExecutionPlan, RowBand, ShardGrid
 
@@ -79,7 +80,7 @@ class Planner:
 
     def __init__(
         self,
-        machine: MachineConfig = HASWELL,
+        machine=None,
         *,
         candidates: Optional[Sequence[str]] = None,
         banding: str = "cost",
@@ -90,7 +91,9 @@ class Planner:
     ) -> None:
         if banding not in ("cost", "ratio", "none"):
             raise ValueError("banding must be 'cost', 'ratio' or 'none'")
-        self.machine = machine
+        # a machine may be named: a preset ("haswell", "knl") or "fitted"
+        # (the host-calibrated config persisted by ``repro.machine fit``)
+        self.machine = resolve_machine(machine)
         self.candidates = tuple(candidates) if candidates is not None else PLAN_CANDIDATES
         for c in self.candidates:
             if c not in ALL_ALGOS:
@@ -185,9 +188,9 @@ class Planner:
             if self.banding == "ratio":
                 bands, mode = self._ratio_bands(a, b, mask, complement, notes), "ratio"
             elif self.banding == "none":
-                bands, mode = self._single_band(a, ests), "auto"
+                bands, mode = self._single_band(a, ests, model), "auto"
             else:
-                bands, mode = self._cost_bands(a, ests, notes), "auto"
+                bands, mode = self._cost_bands(a, ests, notes, model), "auto"
             chosen_phases = (
                 phases if phases is not None else self._pick_phases(model, bands, notes)
             )
@@ -252,7 +255,7 @@ class Planner:
         rows = np.arange(a.nrows, dtype=np.int64)
         return [RowBand(rows=rows, algo=key, reason="forced by caller")]
 
-    def _single_band(self, a, ests):
+    def _single_band(self, a, ests, model):
         if a.nrows == 0:
             return []
         best = min(ests, key=lambda c: float(ests[c].total_cycles))
@@ -262,10 +265,11 @@ class Planner:
                 algo=best,
                 reason="modeled cheapest whole-problem algorithm",
                 est_cycles=float(ests[best].total_cycles),
+                est_bytes=float(model.row_bytes(best).sum()),
             )
         ]
 
-    def _cost_bands(self, a, ests, notes):
+    def _cost_bands(self, a, ests, notes, model):
         nrows = a.nrows
         if nrows == 0:
             return []
@@ -301,6 +305,7 @@ class Planner:
                     algo=c,
                     reason=_REASONS.get(c, "modeled cheapest for these rows"),
                     est_cycles=float(cycles[i, rows].sum()),
+                    est_bytes=float(model.row_bytes(c)[rows].sum()),
                 )
             )
         return bands
@@ -536,6 +541,6 @@ def _count_nonempty_cells(mask, grid: ShardGrid) -> int:
     return int(np.unique(ri * grid.ncp + ci).size)
 
 
-def plan(a, b, mask, *, machine: MachineConfig = HASWELL, **kwargs) -> ExecutionPlan:
+def plan(a, b, mask, *, machine=None, **kwargs) -> ExecutionPlan:
     """One-shot convenience: ``Planner(machine).plan(a, b, mask, **kwargs)``."""
     return Planner(machine).plan(a, b, mask, **kwargs)

@@ -52,7 +52,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..machine import HASWELL, MachineConfig, OpCounter
+from ..machine import MachineConfig, OpCounter, resolve_machine
 from ..sparse import CSC, CSR, DCSC, DCSR
 from .planner import Planner
 
@@ -119,6 +119,10 @@ class ExecutionSession:
     ----------
     machine:
         Cost-model target for the session's planner (default Haswell).
+        Accepts a :class:`MachineConfig`, a preset name (``"haswell"``,
+        ``"knl"``) or ``"fitted"`` to load the history-calibrated config
+        persisted by ``python -m repro.machine fit`` (see
+        ``docs/calibration.md``).
     planner:
         A pre-built :class:`~repro.engine.Planner` to reuse (overrides
         ``machine``).
@@ -146,7 +150,7 @@ class ExecutionSession:
     def __init__(
         self,
         *,
-        machine: Optional[MachineConfig] = None,
+        machine=None,
         planner: Optional[Planner] = None,
         plan_defaults: Optional[dict] = None,
         caching: bool = True,
@@ -157,7 +161,7 @@ class ExecutionSession:
         fingerprint_cache_size: int = 64,
         segment_cache_bytes: Optional[int] = None,
     ) -> None:
-        self.planner = planner if planner is not None else Planner(machine or HASWELL)
+        self.planner = planner if planner is not None else Planner(machine)
         self.machine = self.planner.machine
         self.plan_defaults = dict(plan_defaults or {})
         self.caching = bool(caching)
@@ -233,7 +237,7 @@ class ExecutionSession:
         phases: Optional[int] = None,
         semiring_name: Optional[str] = None,
         counter: Optional[OpCounter] = None,
-        machine: Optional[MachineConfig] = None,
+        machine=None,
         planner: Optional[Planner] = None,
         **plan_kwargs,
     ):
@@ -254,6 +258,8 @@ class ExecutionSession:
                 a, b, mask, complement=complement, phases=phases, **merged
             )
         target = self.planner
+        if machine is not None and not isinstance(machine, MachineConfig):
+            machine = resolve_machine(machine)
         if machine is not None and machine != self.machine:
             target = Planner(machine)
         if not self.caching:
@@ -487,8 +493,7 @@ class ExecutionSession:
         self.close()
 
 
-def resolve_session(session, *, auto: bool = True,
-                    machine: Optional[MachineConfig] = None):
+def resolve_session(session, *, auto: bool = True, machine=None):
     """Normalise an app-level ``session`` argument.
 
     Returns ``(session_or_None, owned)``: ``None`` opens a fresh session

@@ -17,12 +17,29 @@ from .calibrate import (
 from .config import HASWELL, KNL, MACHINES, MachineConfig
 from .cost_model import (
     MODEL_ALGOS,
+    DirectionEstimate,
     ModelEstimate,
     RowCostModel,
     estimate_row_cycles,
     estimate_seconds,
+    estimate_spmv_direction,
 )
 from .counters import OpCounter
+from .fit import (
+    FITTED_PARAMS,
+    FIT_SCHEMA_VERSION,
+    MACHINE_ENV,
+    FitResult,
+    default_machine,
+    evaluate_config,
+    fit_machine,
+    load_fitted,
+    load_fitted_payload,
+    resolve_machine,
+    samples_from_history,
+    samples_from_predictions,
+    save_fitted,
+)
 from .kernel_traces import TRACEABLE_ALGOS, build_trace, replay_miss_rate
 from .report import breakdown_table, explain
 from .scheduler import SCHEDULES, simulate_makespan, speedup_curve
@@ -48,10 +65,25 @@ __all__ = [
     "MachineConfig",
     "MODEL_ALGOS",
     "ModelEstimate",
+    "DirectionEstimate",
     "RowCostModel",
     "estimate_row_cycles",
     "estimate_seconds",
+    "estimate_spmv_direction",
     "OpCounter",
+    "FIT_SCHEMA_VERSION",
+    "FITTED_PARAMS",
+    "MACHINE_ENV",
+    "FitResult",
+    "default_machine",
+    "fit_machine",
+    "evaluate_config",
+    "samples_from_history",
+    "samples_from_predictions",
+    "save_fitted",
+    "load_fitted",
+    "load_fitted_payload",
+    "resolve_machine",
     "TRACEABLE_ALGOS",
     "build_trace",
     "replay_miss_rate",

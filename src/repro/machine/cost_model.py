@@ -47,8 +47,10 @@ __all__ = [
     "MODEL_ALGOS",
     "RowCostModel",
     "ModelEstimate",
+    "DirectionEstimate",
     "estimate_row_cycles",
     "estimate_seconds",
+    "estimate_spmv_direction",
     "SYMBOLIC_FACTOR",
 ]
 
@@ -415,12 +417,107 @@ class RowCostModel:
         return self._finish("ssgb_saxpy", comp, pre=5e4, phases=phases)
 
     # ------------------------------------------------------------------
+    def row_bytes(self, algo: str) -> np.ndarray:
+        """Modeled per-row memory traffic in bytes for one algorithm.
+
+        The same count-to-traffic word accounting as
+        :func:`repro.observe.estimated_bytes_moved`, but evaluated on the
+        *modeled* quantities before the run — the prediction the ledger
+        pairs with the measured counters.  Streams (operand reads, mask,
+        output) charge two words per element; the algorithm's accumulator
+        interactions charge one word per touch.
+        """
+        key = algo.lower()
+        if key == "inner":
+            avg_col = self.b.nnz / max(1, self.n)
+            words = (
+                2.0 * self.nnz_a
+                + 2.0 * self.nnz_m
+                + self.nnz_m * 2.0 * avg_col
+                + 2.0 * self.out_nnz
+            )
+            return words * float(WORD)
+        words = (
+            2.0 * self.nnz_a
+            + 2.0 * self.flops
+            + 2.0 * self.nnz_m
+            + 2.0 * self.out_nnz
+        )
+        if key in ("msa", "hash"):
+            words = words + self.flops + 2.0 * self.nnz_m
+        elif key == "mca":
+            words = words + self.useful + 2.0 * self.nnz_m
+        elif key == "esc":
+            words = words + 2.0 * self.useful
+        else:  # heap schemes and baselines: every product transits the heap
+            words = words + self.flops
+        return words * float(WORD)
+
+    # ------------------------------------------------------------------
     def estimate(self, algo: str, phases: int = 1) -> ModelEstimate:
         """Evaluate the model for one named algorithm."""
         key = algo.lower()
         if key not in MODEL_ALGOS:
             raise ValueError(f"unknown algorithm {algo!r}; expected one of {MODEL_ALGOS}")
         return getattr(self, key)(phases=phases)
+
+
+@dataclass(frozen=True)
+class DirectionEstimate:
+    """Modeled cycles for one push vs pull masked-SpMV step (BFS level)."""
+
+    push_cycles: float
+    pull_cycles: float
+
+    @property
+    def direction(self) -> str:
+        """The modeled-cheaper side (ties go to push, like the paper's
+        direction-optimizing baseline at ``alpha -> inf``)."""
+        return "pull" if self.pull_cycles < self.push_cycles else "push"
+
+
+def estimate_spmv_direction(
+    *,
+    frontier_vertices: int,
+    frontier_edges: int,
+    unvisited_vertices: int,
+    unvisited_edges: int,
+    nvertices: int,
+    machine: MachineConfig,
+) -> DirectionEstimate:
+    """Cost-model estimate of one BFS level's push vs pull masked SpMV.
+
+    Replaces :func:`repro.apps.direction_bfs`'s ad-hoc ``alpha`` constant
+    with the same memory-hierarchy accounting the SpGEMM planner uses
+    (Yang/Buluç/Owens' measured-density signal, PAPERS.md):
+
+    * **push** streams the frontier rows' adjacency (one multiply-add and
+      one random touch into the visited array per edge);
+    * **pull** scans each unvisited vertex's in-edges with the branchy
+      two-pointer merge until it hits a frontier member — expected scan
+      length ``min(avg_degree, 1/frontier_density)`` per vertex, the
+      early-exit that makes pull win on dense frontiers.
+    """
+    m = machine
+    n = max(1, int(nvertices))
+    visited_ws = np.asarray([2.0 * n * WORD])
+    touch = float(_random_touch_cycles(visited_ws, m)[0])
+    push = float(frontier_edges) * (m.flop_cycles + touch) + float(
+        frontier_vertices
+    ) * (2.0 * m.hit_cycles)
+    density = float(frontier_vertices) / n
+    if unvisited_vertices > 0 and unvisited_edges > 0:
+        avg_deg = float(unvisited_edges) / float(unvisited_vertices)
+        expected = float(unvisited_vertices) * min(
+            avg_deg, 1.0 / max(density, 1.0 / n)
+        )
+        scanned = min(float(unvisited_edges), expected)
+    else:
+        scanned = 0.0
+    pull = scanned * (MERGE_CYCLES * m.flop_cycles + touch) + float(
+        unvisited_vertices
+    ) * (2.0 * m.hit_cycles)
+    return DirectionEstimate(push_cycles=push, pull_cycles=pull)
 
 
 def estimate_row_cycles(

@@ -33,6 +33,14 @@ from .exporters import (
     write_chrome_trace,
     write_metrics,
 )
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    PREDICTION_KINDS,
+    format_predictions,
+    misprediction_summary,
+    prediction_rows,
+    predictions,
+)
 from .probes import (
     BUCKET_LABELS,
     NBUCKETS,
@@ -73,6 +81,12 @@ __all__ = [
     "report",
     "format_span_tree",
     "format_probes",
+    "LEDGER_SCHEMA_VERSION",
+    "PREDICTION_KINDS",
+    "prediction_rows",
+    "misprediction_summary",
+    "predictions",
+    "format_predictions",
     "Histogram",
     "ProbeRegistry",
     "probing",

@@ -26,6 +26,7 @@ import json
 from typing import Dict, List
 
 from . import probes as _probes
+from .ledger import predictions as _predictions
 
 __all__ = [
     "chrome_trace",
@@ -155,6 +156,9 @@ def metrics(tracer_or_spans, *, machine=None, probes=None, session=None) -> dict
     if spans:
         wall = max(sp.t1 for sp in spans) - min(sp.t0 for sp in spans)
     return {
+        "batch": _batch_census(spans),
+        "shards": _shard_census(spans),
+        "predictions": _predictions(spans, machine=machine),
         "span_count": len(spans),
         "process_count": len(pids),
         "wall_seconds": wall,
@@ -166,6 +170,62 @@ def metrics(tracer_or_spans, *, machine=None, probes=None, session=None) -> dict
         "probes": probes.export() if probes is not None else {},
         "session": session.stats() if session is not None else {},
     }
+
+
+def _batch_census(spans) -> dict:
+    """Batch tier + bucket census aggregated over the run's band spans.
+
+    ``explain()`` shows the *planned* tiers; this is the executed view —
+    which bands ran bucketed vs per-row and the size-class census of the
+    bucketed ones (union over bands, rows per power-of-two bucket).
+    """
+    bands: List[dict] = []
+    buckets: Dict[int, int] = {}
+    tier_rows: Dict[str, int] = {}
+    for sp in spans:
+        if sp.name != "engine.band":
+            continue
+        a = sp.attrs
+        tier = a.get("batch", "auto")
+        rows = int(a.get("rows", 0) or 0)
+        bands.append(
+            {
+                "band": a.get("band"),
+                "algo": a.get("algo"),
+                "batch": tier,
+                "rows": rows,
+                "buckets": dict(a.get("buckets") or {}),
+            }
+        )
+        tier_rows[tier] = tier_rows.get(tier, 0) + rows
+        for bid, n in (a.get("buckets") or {}).items():
+            buckets[int(bid)] = buckets.get(int(bid), 0) + int(n)
+    chunk_count = sum(1 for sp in spans if sp.name == "kernel.bucket")
+    if not bands and not chunk_count:
+        return {}
+    return {
+        "bands": bands,
+        "rows_by_tier": tier_rows,
+        "bucket_census": {str(k): buckets[k] for k in sorted(buckets)},
+        "bucket_chunks": chunk_count,
+    }
+
+
+def _shard_census(spans) -> dict:
+    """Shard-grid census: the executed grid plus per-cell span counts."""
+    for sp in spans:
+        if sp.name != "engine.shard":
+            continue
+        a = sp.attrs
+        return {
+            "grid": a.get("grid"),
+            "cells": a.get("cells"),
+            "nonempty_cells": a.get("nonempty_cells"),
+            "tasks": a.get("tasks"),
+            "backend": a.get("backend"),
+            "cell_spans": sum(1 for s in spans if s.name == "parallel.shard"),
+        }
+    return {}
 
 
 def write_chrome_trace(path, tracer_or_spans) -> None:

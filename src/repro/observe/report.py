@@ -14,6 +14,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from . import probes as _probes
+from .exporters import _batch_census, _shard_census
+from .ledger import format_predictions, predictions
 from .probes import BUCKET_LABELS
 
 __all__ = ["report", "format_span_tree", "format_probes"]
@@ -122,6 +124,40 @@ def report(tracer, *, plan=None, probes=None, session=None) -> str:
             )
             for algo, sec in sorted(plan.estimates.items(), key=lambda kv: kv[1]):
                 lines.append(f"    candidate {algo:<7s} modeled {sec * 1e3:.3f} ms")
+
+    batch = _batch_census(spans)
+    if batch:
+        lines.append("")
+        lines.append("=== batch census (executed) ===")
+        tiers = ", ".join(
+            f"{tier}:{rows}" for tier, rows in sorted(batch["rows_by_tier"].items())
+        )
+        lines.append(f"  rows by tier: {tiers or '(none)'}")
+        census = batch["bucket_census"]
+        if census:
+            top = sorted(census.items(), key=lambda kv: -kv[1])[:6]
+            rendered = " ".join(f"2^{b}:{n}" for b, n in top)
+            more = f" (+{len(census) - len(top)} more)" if len(census) > len(top) else ""
+            lines.append(f"  bucket census: {rendered}{more}")
+        if batch["bucket_chunks"]:
+            lines.append(f"  bucketed chunks executed: {batch['bucket_chunks']}")
+
+    shards = _shard_census(spans)
+    if shards:
+        lines.append("")
+        lines.append("=== shard census (executed) ===")
+        grid = shards.get("grid")
+        lines.append(
+            f"  grid {grid}  cells={shards.get('cells')} "
+            f"nonempty={shards.get('nonempty_cells')} tasks={shards.get('tasks')} "
+            f"cell spans={shards.get('cell_spans')}"
+        )
+
+    preds = predictions(spans)
+    if preds["rows"]:
+        lines.append("")
+        lines.append("=== prediction ledger (modeled vs measured) ===")
+        lines.append(format_predictions(preds))
 
     if probes is not None:
         export = probes.export() if hasattr(probes, "export") else dict(probes)

@@ -380,6 +380,8 @@ def traced_kernel(algo: str) -> Callable:
                 "nnz_mask": mask.nnz,
                 "complement": bool(kwargs.get("complement", False)),
             }
+            if "batch" in kwargs:
+                attrs["batch"] = kwargs["batch"]
             pr = _probes._INSTALLED
             snap = pr.snapshot() if pr is not None else None
             with tr.span("kernel." + algo, attrs, counter=kwargs.get("counter")):

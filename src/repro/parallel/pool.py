@@ -310,6 +310,11 @@ class ShardTask:
     semiring: tuple
     trace: bool = False
     probe: bool = False
+    #: the cell's apportioned share of the plan's modeled cycles/bytes —
+    #: stamped into the worker's ``parallel.shard`` span so the prediction
+    #: ledger sees the same modeled-vs-measured pairs on every backend
+    est_cycles: float = 0.0
+    est_bytes: float = 0.0
 
 
 #: per-worker cache of CSR forms derived from published shards, keyed by
@@ -392,6 +397,8 @@ def _run_shard_task(task: ShardTask):
                     "cell": list(task.cell),
                     "rows": int(bh),
                     "cols": int(pw),
+                    "est_cycles": task.est_cycles,
+                    "est_bytes": task.est_bytes,
                 },
                 counter=counter,
             )

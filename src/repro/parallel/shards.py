@@ -169,6 +169,7 @@ def run_sharded(
     else:
         work = sorted(cells)
     band_descs = _band_descs(plan.bands, grid.row_bounds, a.nrows)
+    est_cells = _apportion_estimates(plan, grid, cells, work)
 
     tr = _obs.current()
     shard_cm = (
@@ -192,6 +193,7 @@ def run_sharded(
             result = _run_sharded_process(
                 plan, grid, a, b, mask, cells, work, band_descs,
                 semiring=semiring, impl=impl, counter=counter, session=session,
+                est_cells=est_cells,
             )
             if result is not None:
                 return result
@@ -203,8 +205,46 @@ def run_sharded(
         return _run_sharded_local(
             plan, grid, a, b, cells, work, band_descs,
             backend=backend, semiring=semiring, impl=impl, counter=counter,
-            session=session,
+            session=session, est_cells=est_cells,
         )
+
+
+def _apportion_estimates(plan, grid, cells, work) -> Dict[Tuple[int, int], Tuple[float, float]]:
+    """Split the plan's modeled cycles/bytes across the shard work list.
+
+    The planner models whole rows; a cell only sees the row block's slice
+    of one column panel, so the band totals are apportioned by each cell's
+    share of the mask entries (the driver of masked work).  Under a
+    complemented mask every cell runs and empty mask cells are the *dense*
+    ones, so the split falls back to the cell's share of the output area.
+    The per-cell predictions land on the ``parallel.shard`` spans for the
+    prediction ledger; their sum equals the plan totals by construction.
+    """
+    total_cycles = float(sum(band.est_cycles for band in plan.bands))
+    total_bytes = float(sum(band.est_bytes for band in plan.bands))
+    out: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    if not work or (total_cycles <= 0.0 and total_bytes <= 0.0):
+        return {cell: (0.0, 0.0) for cell in work}
+    if plan.complement:
+        weights = {}
+        for i, j in work:
+            area = (grid.row_bounds[i + 1] - grid.row_bounds[i]) * (
+                grid.col_bounds[j + 1] - grid.col_bounds[j]
+            )
+            weights[(i, j)] = float(area)
+    else:
+        weights = {
+            (i, j): float(cells[(i, j)].nnz) if (i, j) in cells else 0.0
+            for i, j in work
+        }
+    denom = sum(weights.values())
+    if denom <= 0.0:
+        share = 1.0 / len(work)
+        return {cell: (total_cycles * share, total_bytes * share) for cell in work}
+    for cell in work:
+        w = weights[cell] / denom
+        out[cell] = (total_cycles * w, total_bytes * w)
+    return out
 
 
 def _cell_triples(
@@ -251,7 +291,7 @@ def _cell_triples(
 
 def _run_sharded_local(
     plan, grid, a: CSR, b: CSR, cells, work, band_descs, *,
-    backend: str, semiring, impl, counter, session,
+    backend: str, semiring, impl, counter, session, est_cells=None,
 ) -> CSR:
     """Serial / thread execution of the shard work list.
 
@@ -287,11 +327,13 @@ def _run_sharded_local(
     def run_cell(idx: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         i, j = work[idx]
         m_csr = m_csrs[(i, j)]
+        est_cyc, est_byt = (est_cells or {}).get((i, j), (0.0, 0.0))
         cell_cm = (
             tr.span(
                 "parallel.shard",
                 {"backend": backend, "cell": [i, j],
-                 "rows": m_csr.nrows, "cols": m_csr.ncols},
+                 "rows": m_csr.nrows, "cols": m_csr.ncols,
+                 "est_cycles": est_cyc, "est_bytes": est_byt},
                 counter=counters[idx],
             )
             if tr is not None else _obs.NULL_SPAN
@@ -316,7 +358,7 @@ def _run_sharded_local(
 
 def _run_sharded_process(
     plan, grid, a: CSR, b: CSR, mask: CSR, cells, work, band_descs, *,
-    semiring, impl, counter, session,
+    semiring, impl, counter, session, est_cells=None,
 ) -> Optional[CSR]:
     """Shared-memory process execution; ``None`` means "fall back to
     threads" (untransferable semiring or missing platform support).
@@ -385,6 +427,8 @@ def _run_sharded_process(
                 semiring=token,
                 trace=tracer is not None,
                 probe=probes is not None,
+                est_cycles=(est_cells or {}).get((i, j), (0.0, 0.0))[0],
+                est_bytes=(est_cells or {}).get((i, j), (0.0, 0.0))[1],
             )
             for i, j in work
         ]

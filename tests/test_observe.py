@@ -324,11 +324,16 @@ class TestProcessBackendTracing:
 
         # parent links survive the merge: every worker kernel span hangs
         # under a partition span from the *same* pid (a flattened-ingest
-        # id collision would cross-link kernels onto a foreign partition)
+        # id collision would cross-link kernels onto a foreign partition).
+        # kernel.bucket chunk spans nest one level deeper, inside the
+        # kernel whose batched tier emitted them.
         by_id = {sp.span_id: sp for sp in tr.spans}
         for sp in kern:
             parent = by_id[sp.parent_id]
-            assert parent.name == "parallel.partition"
+            if sp.name == "kernel.bucket":
+                assert parent.name.startswith("kernel.")
+            else:
+                assert parent.name == "parallel.partition"
             assert parent.pid == sp.pid
             assert parent.t0 <= sp.t0 and sp.t1 <= parent.t1
 
