@@ -22,6 +22,7 @@ import numpy as np
 from ..core.chunked import column_panels, restrict_columns
 from ..core.masked_spgemm import masked_spgemm
 from ..machine import OpCounter, flops_per_row
+from ..observe import runtime as _runtime
 from ..observe import tracer as _obs
 from ..parallel.executor import normalize_backend, row_slice, run_partitioned
 from ..parallel.shards import run_sharded
@@ -37,6 +38,30 @@ from .plan import ExecutionPlan, RowBand
 __all__ = ["execute", "plan_and_execute"]
 
 _log = logging.getLogger("repro.engine")
+
+
+class _CallNote:
+    """Feeds the runtime sampler's calls-per-second throughput series.
+
+    One shared instance wraps every :func:`execute`; exit performs a
+    single module-attribute check, so the sampler-off path pays one
+    no-op ``with`` per engine call and allocates nothing — the same
+    disabled-path discipline as the tracer's ``NULL_SPAN``.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        sampler = _runtime._INSTALLED
+        if sampler is not None:
+            sampler.note_call()
+        return False
+
+
+_CALL_NOTE = _CallNote()
 
 
 def _partition_rows(partition: str, a: CSR, b: CSR, threads: int) -> List[np.ndarray]:
@@ -258,7 +283,7 @@ def execute(
         )
         if tr is not None else _obs.NULL_SPAN
     )
-    with exec_cm:
+    with _CALL_NOTE, exec_cm:
         if plan.shards is not None:
             # the sharded dispatch path: DCSR/DCSC shard cells, mask-pruned
             # work list, per-shard segment reuse under a session

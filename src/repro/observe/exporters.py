@@ -26,15 +26,22 @@ import json
 from typing import Dict, List
 
 from . import probes as _probes
+from . import runtime as _runtime
 from .ledger import predictions as _predictions
 
 __all__ = [
+    "METRICS_SCHEMA_VERSION",
     "chrome_trace",
     "metrics",
     "estimated_bytes_moved",
     "write_chrome_trace",
     "write_metrics",
 ]
+
+#: version of the :func:`metrics` dict layout; bumped whenever a key is
+#: renamed/removed or its meaning changes (additions do not bump it), so
+#: downstream consumers of archived metrics JSON can dispatch on it
+METRICS_SCHEMA_VERSION = 1
 
 #: span-name prefixes whose counter deltas partition the counted work:
 #: every operation is charged inside exactly one of these spans, so summing
@@ -46,6 +53,10 @@ _WORD_BYTES = 8  # one index or value word, as in the paper's traffic analysis
 
 
 def _spans(tracer_or_spans) -> list:
+    """Span list of a tracer / span sequence; ``None`` (no tracer was ever
+    enabled) exports as cleanly as an empty trace."""
+    if tracer_or_spans is None:
+        return []
     spans = getattr(tracer_or_spans, "spans", tracer_or_spans)
     return list(spans)
 
@@ -119,8 +130,14 @@ def estimated_bytes_moved(counter_totals: Dict[str, int], machine=None) -> int:
     return int(words) * word_bytes
 
 
-def metrics(tracer_or_spans, *, machine=None, probes=None, session=None) -> dict:
+def metrics(tracer_or_spans, *, machine=None, probes=None, session=None,
+            runtime=None) -> dict:
     """Flat metrics summary of a trace (see module docs).
+
+    ``tracer_or_spans`` may be ``None`` (tracing was never enabled): the
+    summary still carries its schema version plus whatever probe, session
+    and runtime telemetry exists — observability outside ``trace()``
+    blocks, not an error.
 
     ``probes`` may be a :class:`~repro.observe.probes.ProbeRegistry`; when
     omitted, the currently installed registry (if any) is used, so a
@@ -133,9 +150,17 @@ def metrics(tracer_or_spans, *, machine=None, probes=None, session=None) -> dict
     cache telemetry (plan / CSC / bound hit counts, segment reuse and
     republished bytes) lands under the ``"session"`` key ({} when absent)
     — see ``docs/sessions.md``.
+
+    ``runtime`` may be a :class:`~repro.observe.runtime.RuntimeSampler`;
+    when omitted, the installed sampler (if any) is used.  Its ring-buffer
+    export — RSS/shm/queue-depth series, worker heartbeat series, the
+    drift-ready summary — lands under the ``"runtime"`` key ({} when no
+    sampler ran).
     """
     if probes is None:
         probes = _probes.current()
+    if runtime is None:
+        runtime = _runtime.current()
     spans = _spans(tracer_or_spans)
     by_name: Dict[str, dict] = {}
     by_phase: Dict[str, float] = {}
@@ -156,6 +181,7 @@ def metrics(tracer_or_spans, *, machine=None, probes=None, session=None) -> dict
     if spans:
         wall = max(sp.t1 for sp in spans) - min(sp.t0 for sp in spans)
     return {
+        "schema_version": METRICS_SCHEMA_VERSION,
         "batch": _batch_census(spans),
         "shards": _shard_census(spans),
         "predictions": _predictions(spans, machine=machine),
@@ -169,6 +195,7 @@ def metrics(tracer_or_spans, *, machine=None, probes=None, session=None) -> dict
         "machine": getattr(machine, "name", None),
         "probes": probes.export() if probes is not None else {},
         "session": session.stats() if session is not None else {},
+        "runtime": runtime.export() if runtime is not None else {},
     }
 
 

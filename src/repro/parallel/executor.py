@@ -42,6 +42,7 @@ import numpy as np
 
 from ..machine import OpCounter
 from ..observe import probes as _probes
+from ..observe import runtime as _runtime
 from ..observe import tracer as _obs
 from ..semiring import PLUS_TIMES, Semiring
 from ..sparse import CSC, CSR
@@ -354,10 +355,11 @@ def _run_partitioned_process(
                     trace=tracer is not None,
                     probe=probes is not None,
                     batch=batch,
+                    heartbeat=_runtime.current() is not None,
                 )
             )
-        triples, counters, span_batches, probe_batches = _pool.run_tasks(
-            len(parts), tasks
+        triples, counters, span_batches, probe_batches, heartbeats = (
+            _pool.run_tasks(len(parts), tasks)
         )
     finally:
         if group is not None:
@@ -381,6 +383,11 @@ def _run_partitioned_process(
         for payload in probe_batches:
             if payload:
                 probes.ingest(payload)
+    sampler = _runtime.current()
+    if sampler is not None:
+        # worker heartbeats fold into the fleet-health series exactly like
+        # span/probe batches fold into their registries
+        sampler.ingest_heartbeats(heartbeats)
     return _merge_triples(
         triples, (a.nrows, b.ncols), counters=counters, counter=counter
     )

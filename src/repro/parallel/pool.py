@@ -52,6 +52,8 @@ __all__ = [
     "get_pool",
     "shutdown_pool",
     "pool_size",
+    "pool_pids",
+    "pool_stats",
     "process_pool",
     "process_backend_available",
     "run_tasks",
@@ -81,7 +83,9 @@ def _context() -> mp.context.BaseContext:
 # ----------------------------------------------------------------------
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_WORKERS = 0
-_ATEXIT_REGISTERED = False
+#: lifetime task counters (coordinator side) — the runtime sampler's
+#: queue-depth series reads submitted - completed
+_POOL_TASKS = {"submitted": 0, "completed": 0}
 
 
 def get_pool(workers: int) -> ProcessPoolExecutor:
@@ -91,7 +95,7 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
     its steady-state worker count; reuse is the common case and costs a
     dictionary read.
     """
-    global _POOL, _POOL_WORKERS, _ATEXIT_REGISTERED
+    global _POOL, _POOL_WORKERS
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if _POOL is None or _POOL_WORKERS < workers:
@@ -99,9 +103,6 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
             _POOL.shutdown(wait=True, cancel_futures=True)
         _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=_context())
         _POOL_WORKERS = workers
-        if not _ATEXIT_REGISTERED:
-            atexit.register(shutdown_pool)
-            _ATEXIT_REGISTERED = True
     return _POOL
 
 
@@ -119,6 +120,36 @@ def shutdown_pool() -> None:
 def pool_size() -> int:
     """Current worker count of the persistent pool (0 = not running)."""
     return _POOL_WORKERS
+
+
+def pool_pids() -> Tuple[int, ...]:
+    """Pids of the live pool worker processes (empty when no pool runs).
+
+    Workers spawn lazily, so right after :func:`get_pool` this may be
+    shorter than :func:`pool_size`; after a dispatch it is the fleet the
+    heartbeat series should cover.
+    """
+    if _POOL is None:
+        return ()
+    procs = getattr(_POOL, "_processes", None) or {}
+    return tuple(sorted(pid for pid, p in list(procs.items()) if p.is_alive()))
+
+
+def pool_stats() -> dict:
+    """Coordinator-side pool gauges for samplers and ``metrics()``.
+
+    ``tasks_inflight`` is submitted-minus-completed at this instant —
+    the queue depth the runtime sampler's ring buffer tracks.
+    """
+    submitted = _POOL_TASKS["submitted"]
+    completed = _POOL_TASKS["completed"]
+    return {
+        "size": _POOL_WORKERS,
+        "pids": list(pool_pids()),
+        "tasks_submitted": submitted,
+        "tasks_completed": completed,
+        "tasks_inflight": max(0, submitted - completed),
+    }
 
 
 @contextmanager
@@ -180,6 +211,10 @@ class PartitionTask:
     #: kernel batching tier ("auto" | "bucket" | "perrow"); the planner's
     #: per-band resolution rides along so workers run the same tier
     batch: str = "auto"
+    #: ship a compact worker heartbeat (pid, RSS, CPU, tasks done, form
+    #: cache occupancy) back with the result — set while a
+    #: :class:`~repro.observe.runtime.RuntimeSampler` is installed
+    heartbeat: bool = False
 
 
 def _run_task(task: PartitionTask):
@@ -271,7 +306,8 @@ def _run_task(task: PartitionTask):
                 r, cc, v = c.to_coo()
                 if offset:
                     r = r + offset
-        return _coo_payload(r, cc, v, counter, tracer, probes)
+        return _coo_payload(r, cc, v, counter, tracer, probes,
+                            _worker_heartbeat(task))
     finally:
         if probes is not None:
             from ..observe.probes import set_probes
@@ -315,6 +351,8 @@ class ShardTask:
     #: ledger sees the same modeled-vs-measured pairs on every backend
     est_cycles: float = 0.0
     est_bytes: float = 0.0
+    #: ship a worker heartbeat back with the result (see PartitionTask)
+    heartbeat: bool = False
 
 
 #: per-worker cache of CSR forms derived from published shards, keyed by
@@ -451,7 +489,8 @@ def _run_shard_task(task: ShardTask):
             else:
                 r = cc = np.empty(0, np.int64)
                 v = np.empty(0, np.float64)
-        return _coo_payload(r, cc, v, counter, tracer, probes)
+        return _coo_payload(r, cc, v, counter, tracer, probes,
+                            _worker_heartbeat(task))
     finally:
         if probes is not None:
             from ..observe.probes import set_probes
@@ -463,10 +502,36 @@ def _run_shard_task(task: ShardTask):
             set_tracer(prev)
 
 
-def _coo_payload(rows, cols, vals, counter, tracer=None, probes=None):
+#: worker-side lifetime task count — always maintained (one integer add),
+#: reported only when a task asks for a heartbeat
+_WORKER_TASKS_DONE = 0
+
+
+def _worker_heartbeat(task) -> Optional[dict]:
+    """Build this worker's heartbeat if the task asked for one.
+
+    Runs in the pool worker as part of every task.  The task counter is
+    bumped unconditionally so heartbeats stay accurate when a sampler is
+    installed mid-run; the (slightly costlier) ``/proc`` reads happen only
+    on the sampled path.  ``getattr`` keeps old pickled tasks valid.
+    """
+    global _WORKER_TASKS_DONE
+    _WORKER_TASKS_DONE += 1
+    if not getattr(task, "heartbeat", False):
+        return None
+    from ..observe.runtime import worker_heartbeat
+
+    return worker_heartbeat(
+        tasks_completed=_WORKER_TASKS_DONE,
+        cached_forms=len(_SHARD_FORMS),
+    )
+
+
+def _coo_payload(rows, cols, vals, counter, tracer=None, probes=None,
+                 heartbeat=None):
     spans = tracer.export() if tracer is not None else []
     probe_export = probes.export() if probes is not None else {}
-    return rows, cols, vals, counter, spans, probe_export
+    return rows, cols, vals, counter, spans, probe_export, heartbeat
 
 
 def run_tasks(
@@ -476,6 +541,7 @@ def run_tasks(
     List[OpCounter],
     List[List[dict]],
     List[dict],
+    List[Optional[dict]],
 ]:
     """Run partition (or shard) tasks on the persistent pool, in order.
 
@@ -488,26 +554,47 @@ def run_tasks(
     batch; flattening would cross-link spans from different tasks.  The
     fourth holds each task's probe-histogram export (empty dict unless
     submitted with ``probe=True``); histogram merges commute, so these may
-    be ingested in any order.  ``fn`` selects the worker entry point —
-    :func:`_run_task` for :class:`PartitionTask`, :func:`_run_shard_task`
-    for :class:`ShardTask`; both speak the same payload protocol.  A broken
+    be ingested in any order.  The fifth holds each task's worker
+    heartbeat (``None`` unless submitted with ``heartbeat=True``) for
+    :meth:`repro.observe.runtime.RuntimeSampler.ingest_heartbeats`.
+    ``fn`` selects the worker entry point — :func:`_run_task` for
+    :class:`PartitionTask`, :func:`_run_shard_task` for
+    :class:`ShardTask`; both speak the same payload protocol.  A broken
     pool (a worker was OOM-killed or crashed) is discarded so the next call
     starts clean, and the error propagates to the caller.
     """
     pool = get_pool(workers)
+    _POOL_TASKS["submitted"] += len(tasks)
     futures = [pool.submit(fn, t) for t in tasks]
     triples: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     counters: List[OpCounter] = []
     span_batches: List[List[dict]] = []
     probe_batches: List[dict] = []
+    heartbeats: List[Optional[dict]] = []
+    consumed = 0
     try:
         for fut in futures:
-            rows, cols, vals, counter, spans, probe_export = fut.result()
+            rows, cols, vals, counter, spans, probe_export, hb = fut.result()
+            consumed += 1
+            _POOL_TASKS["completed"] += 1
             triples.append((rows, cols, vals))
             counters.append(counter)
             span_batches.append(spans)
             probe_batches.append(probe_export)
+            heartbeats.append(hb)
     except BrokenProcessPool:
         shutdown_pool()
         raise
-    return triples, counters, span_batches, probe_batches
+    finally:
+        # rebalance abandoned futures on error so the sampler's queue-depth
+        # gauge returns to zero instead of reporting phantom in-flight work
+        _POOL_TASKS["completed"] += len(tasks) - consumed
+    return triples, counters, span_batches, probe_batches, heartbeats
+
+
+# Registered at import time — not lazily in get_pool — so interpreter exit
+# can never strand pool workers or their shm attachments, even when a
+# crash unwinds past the first get_pool call.  atexit tolerates both the
+# no-pool case (shutdown_pool is a no-op) and duplicate registration
+# across reloads.
+atexit.register(shutdown_pool)

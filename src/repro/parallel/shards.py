@@ -46,6 +46,7 @@ import numpy as np
 from ..core.masked_spgemm import masked_spgemm
 from ..machine import OpCounter
 from ..observe import probes as _probes
+from ..observe import runtime as _runtime
 from ..observe import tracer as _obs
 from ..semiring import PLUS_TIMES, Semiring
 from ..sparse import CSC, CSR, DCSC, DCSR
@@ -429,12 +430,15 @@ def _run_sharded_process(
                 probe=probes is not None,
                 est_cycles=(est_cells or {}).get((i, j), (0.0, 0.0))[0],
                 est_bytes=(est_cells or {}).get((i, j), (0.0, 0.0))[1],
+                heartbeat=_runtime.current() is not None,
             )
             for i, j in work
         ]
-        triples, counters, span_batches, probe_batches = _pool.run_tasks(
-            max(1, min(plan.threads, len(tasks))), tasks,
-            fn=_pool._run_shard_task,
+        triples, counters, span_batches, probe_batches, heartbeats = (
+            _pool.run_tasks(
+                max(1, min(plan.threads, len(tasks))), tasks,
+                fn=_pool._run_shard_task,
+            )
         )
     finally:
         if group is not None:
@@ -454,6 +458,9 @@ def _run_sharded_process(
         for payload in probe_batches:
             if payload:
                 probes.ingest(payload)
+    sampler = _runtime.current()
+    if sampler is not None:
+        sampler.ingest_heartbeats(heartbeats)
     return _merge_triples(
         triples, (a.nrows, b.ncols), counters=counters, counter=counter
     )

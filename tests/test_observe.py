@@ -427,3 +427,123 @@ class TestExportEdgeCases:
     def test_metrics_accepts_empty_span_list(self):
         m = metrics([], machine=HASWELL)
         assert m["span_count"] == 0 and m["counter_totals"] == {}
+
+    def test_metrics_schema_version_leads_the_payload(self):
+        from repro.observe import METRICS_SCHEMA_VERSION
+
+        m = metrics([], machine=HASWELL)
+        assert m["schema_version"] == METRICS_SCHEMA_VERSION
+        assert next(iter(m)) == "schema_version"
+
+    def test_metrics_on_never_enabled_tracer(self):
+        """``metrics(None)`` — observability was never switched on — must
+        export as cleanly as an empty trace, with the runtime section
+        empty rather than absent."""
+        m = metrics(None, machine=HASWELL)
+        assert m["span_count"] == 0
+        assert m["counter_totals"] == {}
+        assert m["runtime"] == {}
+        json.dumps(m)
+
+    def test_chrome_trace_on_never_enabled_tracer(self):
+        from repro.observe import chrome_trace
+
+        doc = chrome_trace(None)
+        assert doc["traceEvents"] == []
+        json.dumps(doc)
+
+    def test_report_on_never_enabled_tracer(self):
+        text = report(None)
+        assert "0 spans" in text
+        assert "(no spans recorded)" in text
+
+    def test_untraced_sessioned_report_shows_cache_and_pool(self):
+        """Satellite contract: an *untraced* sessioned run still surfaces
+        segment-cache occupancy and pool size through ``report()``."""
+        from repro.engine import ExecutionSession
+
+        assert current() is None
+        g = rmat(7, seed=4)
+        low = relabel_by_degree(g.pattern()).tril(-1)
+        with ExecutionSession() as session:
+            from repro.core import masked_spgemm
+
+            masked_spgemm(low, low, low, algo="msa", semiring=PLUS_PAIR,
+                          session=session)
+            text = report(None, session=session)
+        assert "segment cache" in text
+        assert "process pool" in text
+        assert "plan cache" in text
+
+
+# ----------------------------------------------------------------------
+# prediction-ledger bias flags (PR 8's summary statistics)
+# ----------------------------------------------------------------------
+
+
+class TestLedgerBiasFlags:
+    @staticmethod
+    def _rows(ratios, kind="band"):
+        """Ledger rows with measured/modeled == each requested ratio."""
+        return [
+            {"kind": kind, "modeled_seconds": 0.001,
+             "measured_seconds": 0.001 * r}
+            for r in ratios
+        ]
+
+    def test_optimistic_when_model_undershoots(self):
+        from repro.observe import misprediction_summary
+
+        entry = misprediction_summary(self._rows([90.0, 100.0, 110.0]))["band"]
+        assert entry["bias"] == "optimistic"
+        assert entry["ratio_median"] == pytest.approx(100.0)
+
+    def test_pessimistic_when_model_overshoots(self):
+        from repro.observe import misprediction_summary
+
+        entry = misprediction_summary(self._rows([0.01, 0.012, 0.009]))["band"]
+        assert entry["bias"] == "pessimistic"
+
+    def test_centered_inside_2x_both_ways(self):
+        from repro.observe import misprediction_summary
+
+        for ratios in ([0.9, 1.0, 1.1], [2.0], [0.5]):
+            entry = misprediction_summary(self._rows(ratios))["band"]
+            assert entry["bias"] == "centered", ratios
+
+    def test_single_sample_mad_is_zero(self):
+        from repro.observe import misprediction_summary
+
+        entry = misprediction_summary(self._rows([3.0]))["band"]
+        assert entry["with_model"] == 1
+        assert entry["log10_ratio_mad"] == 0.0
+        assert entry["bias"] == "optimistic"
+
+    def test_all_identical_ratios_mad_is_zero(self):
+        from repro.observe import misprediction_summary
+
+        entry = misprediction_summary(self._rows([4.0] * 5))["band"]
+        assert entry["log10_ratio_mad"] == 0.0
+        assert entry["ratio_median"] == pytest.approx(4.0)
+
+    def test_unmodeled_rows_counted_but_excluded_from_ratios(self):
+        from repro.observe import misprediction_summary
+
+        rows = self._rows([10.0, 10.0])
+        rows.append({"kind": "band", "modeled_seconds": None,
+                     "measured_seconds": 0.5})
+        rows.append({"kind": "band", "modeled_seconds": 0.0,
+                     "measured_seconds": 0.5})
+        entry = misprediction_summary(rows)["band"]
+        assert entry["rows"] == 4
+        assert entry["with_model"] == 2
+        assert entry["bias"] == "optimistic"
+
+    def test_kinds_summarised_independently(self):
+        from repro.observe import misprediction_summary
+
+        rows = self._rows([100.0], kind="band") + \
+            self._rows([0.01], kind="shard-cell")
+        summary = misprediction_summary(rows)
+        assert summary["band"]["bias"] == "optimistic"
+        assert summary["shard-cell"]["bias"] == "pessimistic"
