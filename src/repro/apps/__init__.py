@@ -15,6 +15,11 @@ from .sparse_dnn import (
     sparse_dnn_forward_topk,
 )
 from .sssp import SSSPResult, sssp
+from .streaming import (
+    StreamingResult,
+    edge_stream_from_graph,
+    sliding_window_triangles,
+)
 from .tree_inference import (
     InferenceResult,
     LabelTree,
@@ -43,6 +48,9 @@ __all__ = [
     "markov_clustering",
     "SSSPResult",
     "sssp",
+    "StreamingResult",
+    "edge_stream_from_graph",
+    "sliding_window_triangles",
     "DNNResult",
     "SparseDNN",
     "random_sparse_dnn",

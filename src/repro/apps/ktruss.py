@@ -58,6 +58,7 @@ def ktruss(
     backend: Optional[str] = None,
     shards=None,
     session=None,
+    delta="auto",
 ) -> KTrussResult:
     """Compute the ``k``-truss of the undirected graph ``a``.
 
@@ -79,10 +80,15 @@ def ktruss(
     ``session`` controls cross-call caching: pass an
     :class:`~repro.engine.ExecutionSession` to share one across apps,
     ``None`` (default, ``algo="auto"`` only) to open a loop-local session,
-    or ``False`` to disable caching entirely.  k-truss rebuilds the
-    adjacency each round, so only the intra-call dedup (A = B = M publish
-    once) and the replan path benefit — the structure changes every
-    iteration by construction.
+    or ``False`` to disable caching entirely.
+
+    ``delta`` (default ``"auto"``) makes each sessioned iteration
+    incremental (see ``docs/incremental.md``): the pruning loop removes a
+    shrinking edge set per round, so once the delta is small only the
+    dirty output rows are recomputed and spliced into the previous
+    round's support matrix — bit-for-bit identical to full recomputation,
+    with the saved work certified by ``counter.rows_patched``.  Pass
+    ``None`` to recompute fully every round; ignored without a session.
     """
     if k < 3:
         raise ValueError("k must be >= 3")
@@ -125,6 +131,7 @@ def ktruss(
                             else None,
                             shards=shards,
                             session=session,
+                            delta=delta if session is not None else None,
                         )
                     spgemm_time += sp_mm.seconds
                     # keep edges of cur whose support >= k-2; edges with zero

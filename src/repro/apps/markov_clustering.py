@@ -95,6 +95,7 @@ def markov_clustering(
     algo: str = "auto",
     counter: Optional[OpCounter] = None,
     session=None,
+    delta="auto",
 ) -> MCLResult:
     """Cluster the undirected graph ``a`` with MCL.
 
@@ -104,7 +105,10 @@ def markov_clustering(
     enabled by masked SpGEMM.  ``session`` (an
     :class:`~repro.engine.ExecutionSession`; default: loop-local when the
     masked expansion is in play, ``False`` disables) caches plans across
-    the expansion iterations.
+    the expansion iterations.  ``delta`` (default ``"auto"``; ignored
+    without a session) makes the sessioned expansion incremental: as the
+    iteration converges, M's rows stabilise and only the still-moving
+    rows are recomputed (``docs/incremental.md``).
     """
     if a.nrows != a.ncols:
         raise ValueError("adjacency must be square")
@@ -131,7 +135,8 @@ def markov_clustering(
                 hop2 = spgemm_saxpy_fast(strong.pattern(), strong.pattern())
                 mask = pattern_union(m.pattern(), hop2.pattern())
                 expanded = masked_spgemm(
-                    m, m, mask, algo=algo, counter=counter, session=session
+                    m, m, mask, algo=algo, counter=counter, session=session,
+                    delta=delta if session is not None else None,
                 )
             else:
                 expanded = spgemm_saxpy_fast(m, m, counter=counter)

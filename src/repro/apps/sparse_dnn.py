@@ -155,6 +155,7 @@ def sparse_dnn_forward_topk(
     algo: str = "auto",
     counter: Optional[OpCounter] = None,
     session=None,
+    delta="auto",
 ) -> DNNResult:
     """Budgeted inference: after each layer keep only the top-k activations
     per sample, and compute the next layer as a *masked* product restricted
@@ -169,7 +170,12 @@ def sparse_dnn_forward_topk(
     The weight layers are constant across batches, so a long-lived
     ``session`` (an :class:`~repro.engine.ExecutionSession`; default:
     loop-local for ``algo="auto"``, ``False`` disables) keeps their
-    fingerprints and published segments warm across calls.
+    fingerprints and published segments warm across calls.  ``delta``
+    (default ``"auto"``; ignored without a session) threads the layers
+    through the incremental engine — per-layer operands usually change
+    wholesale, so most calls diff and fall back, but repeated batches on
+    identical activations return the cached result outright
+    (``docs/incremental.md``).
     """
     counter = counter if counter is not None else OpCounter()
     session, owned = resolve_session(session, auto=(algo == "auto"))
@@ -181,7 +187,8 @@ def sparse_dnn_forward_topk(
             # reachable output pattern of the sparsified activations
             mask = spgemm_saxpy_fast(y.pattern(), w.pattern()).pattern()
             y = masked_spgemm(y, w, mask, algo=algo, semiring=PLUS_TIMES,
-                              counter=counter, session=session)
+                              counter=counter, session=session,
+                              delta=delta if session is not None else None)
             y = _relu_bias(y, b)
             nnzs.append(y.nnz)
     finally:

@@ -249,6 +249,16 @@ def session_app_records(
     2x2 shard grid over the process backend, sessioned so the repeats
     certify per-shard segment reuse in the cache telemetry.
 
+    ``ktruss-delta`` is the incremental twin of ``ktruss-session``
+    (``docs/incremental.md``): the same pruning loop with ``delta="auto"``,
+    so late iterations recompute only dirty rows.  Its
+    ``rows_recomputed`` / ``rows_patched`` / ``delta_fallbacks`` counters
+    are the scheme's work certificate (``ktruss-session`` pins
+    ``delta=None`` so it stays the full-recompute sessioned baseline).
+    Note the first repeat's counters differ from later ones (the session
+    starts cold); the recorded counter is the *last* repeat's, which is
+    deterministic for ``repeats >= 2``.
+
     ``tc-batched`` is the bucketed-tier twin (``docs/kernels.md``): the
     TC masked SpGEMM forced onto ``batch="bucket"`` with ``phases=2``,
     sessioned so repeats after the first fuse the numeric pass against
@@ -263,7 +273,11 @@ def session_app_records(
     low = g.pattern().tril(-1)
     apps = (
         ("ktruss-session", "auto",
-         lambda s, c: ktruss(g, k, algo="auto", counter=c, session=s)),
+         lambda s, c: ktruss(g, k, algo="auto", counter=c, session=s,
+                             delta=None)),
+        ("ktruss-delta", "auto",
+         lambda s, c: ktruss(g, k, algo="auto", counter=c, session=s,
+                             delta="auto")),
         ("bc-session", "auto",
          lambda s, c: betweenness_centrality(
              g, batch_size=bc_batch, algo="auto", seed=1, counter=c,

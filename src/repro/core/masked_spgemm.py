@@ -117,6 +117,7 @@ def masked_spgemm(
     shards=None,
     batch: str = "auto",
     session=None,
+    delta=None,
 ) -> CSR:
     """Compute ``C = M .* (A @ B)`` (``!M`` with ``complement=True``).
 
@@ -185,6 +186,18 @@ def masked_spgemm(
         registry.  Results are bit-for-bit identical with or without one.
         ``False`` (the app-level "disable caching" sentinel) is accepted
         and means the same as ``None`` here: no cross-call caching.
+    delta:
+        Incremental execution against the session's cached state (see
+        ``docs/incremental.md``): ``None`` (default) recomputes fully;
+        ``"auto"`` diffs consecutive operands and recomputes only the
+        dirty output rows, falling back to a full run when the dirty
+        fraction exceeds :data:`repro.engine.delta.DELTA_MAX_FRACTION`;
+        a float in ``(0, 1]`` overrides that threshold; ``"force"``
+        always patches (test hook).  Any non-``None`` value routes
+        through the engine; a caching ``session`` is required —
+        ``"auto"`` silently degrades to a full run without one,
+        ``"force"`` raises.  Results are bit-for-bit identical to a
+        full recompute on every backend, sharded or not.
     """
     if machine is not None and not isinstance(machine, MachineConfig):
         # accept preset names and "fitted" wherever a config is accepted
@@ -216,6 +229,7 @@ def masked_spgemm(
             shards=shards_t,
             batch=batch,
             session=session,
+            delta=delta,
         )
         return ct.transpose()
     key = algo.lower()
@@ -239,10 +253,11 @@ def masked_spgemm(
         raise ValueError("phases must be 1 or 2")
     if impl not in ("fast", "reference", "auto"):
         raise ValueError("impl must be 'fast', 'reference' or 'auto'")
-    if key == "auto" or shards is not None:
+    if key == "auto" or shards is not None or (delta is not None and delta is not False):
         # route through the execution engine: the planner picks per-row-band
         # algorithms, phases, partition and thread count from the cost model
-        # (a forced algo with shards= keeps the algo and shards the dispatch)
+        # (a forced algo with shards= keeps the algo and shards the dispatch;
+        # delta= additionally threads the call through the incremental path)
         from ..engine import plan_and_execute
 
         return plan_and_execute(
@@ -258,6 +273,7 @@ def masked_spgemm(
             backend=backend,
             b_csc=b_csc,
             session=session,
+            delta=delta,
             algo=None if key == "auto" else key,
             shards=shards,
             batch=None if batch == "auto" else batch,

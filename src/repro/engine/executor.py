@@ -356,6 +356,7 @@ def plan_and_execute(
     b_csc: Optional[CSC] = None,
     planner: Optional["Planner"] = None,
     session=None,
+    delta=None,
     **plan_kwargs,
 ) -> CSR:
     """Plan and immediately execute — the ``algo="auto"`` one-call path.
@@ -366,10 +367,32 @@ def plan_and_execute(
     ``machine=``/``planner=`` arguments are still honoured alongside a
     session: a forced machine partitions the plan cache, a forced foreign
     planner plans uncached (see :meth:`ExecutionSession.plan`).
+
+    ``delta`` (``"auto"``, ``"force"`` or a dirty-fraction threshold)
+    routes the call through :func:`repro.engine.delta.delta_execute`:
+    consecutive calls on the same problem diff their operands and
+    recompute only dirty rows (``docs/incremental.md``).  Requires a
+    caching session — without one, ``"auto"`` degrades to a normal full
+    run and ``"force"`` raises.
     """
     from .planner import Planner
 
     session = session or None
+    if delta is not None and delta is not False:
+        if session is not None and session.caching:
+            from .delta import delta_execute
+
+            return delta_execute(
+                a, b, mask,
+                session=session, delta=delta, machine=machine,
+                complement=complement, phases=phases, semiring=semiring,
+                impl=impl, counter=counter, backend=backend, b_csc=b_csc,
+                planner=planner, **plan_kwargs,
+            )
+        if delta == "force":
+            raise ValueError(
+                "delta='force' requires a caching ExecutionSession"
+            )
     if session is not None and session.caching:
         pl = session.plan(
             a, b, mask,

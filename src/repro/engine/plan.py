@@ -169,7 +169,11 @@ class ExecutionPlan:
     panel_width: Optional[int] = None  #: column-panel width, or None
     shards: Optional[ShardGrid] = None  #: 2-D shard grid, or None (unsharded)
     machine: str = "haswell"  #: name of the MachineConfig the plan targets
-    mode: str = "auto"  #: "auto" | "ratio" | "forced"
+    mode: str = "auto"  #: "auto" | "ratio" | "forced" | "delta"
+    #: a partial plan covers only a subset of the output rows (each at most
+    #: once) — the delta engine's patch path re-executes dirty rows only and
+    #: splices them into a cached result (see docs/incremental.md)
+    partial: bool = False
     estimates: Dict[str, float] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
 
@@ -235,10 +239,18 @@ class ExecutionPlan:
             if r.size and (int(r.min()) < 0 or int(r.max()) >= nrows):
                 raise ValueError("band rows out of range")
             np.add.at(counts, r, 1)
-        if self.bands and not bool(np.all(counts == 1)):
-            raise ValueError("plan bands must cover every output row exactly once")
-        if not self.bands and nrows != 0:
-            raise ValueError("plan has no bands but the output has rows")
+        if self.partial:
+            if self.bands and not bool(np.all(counts <= 1)):
+                raise ValueError(
+                    "partial plan bands must cover each output row at most once"
+                )
+        else:
+            if self.bands and not bool(np.all(counts == 1)):
+                raise ValueError(
+                    "plan bands must cover every output row exactly once"
+                )
+            if not self.bands and nrows != 0:
+                raise ValueError("plan has no bands but the output has rows")
         return self
 
     # ------------------------------------------------------------------
@@ -255,6 +267,7 @@ class ExecutionPlan:
             "shards": self.shards.as_dict() if self.shards is not None else None,
             "machine": self.machine,
             "mode": self.mode,
+            "partial": self.partial,
             "bands": [
                 {
                     "algo": band.algo,
@@ -286,6 +299,12 @@ class ExecutionPlan:
                 else "no column panels"
             ),
         ]
+        if self.partial:
+            covered = sum(band.nrows for band in self.bands)
+            lines.append(
+                f"  partial plan: {covered} of {self.shape[0]} output rows "
+                "(delta patch — untouched rows come from the cached result)"
+            )
         if self.shards is not None:
             lines.append(
                 f"  shard grid {self.shards.nrb}x{self.shards.ncp} "

@@ -179,6 +179,14 @@ class ExecutionSession:
         self._cscs: "OrderedDict[tuple, CSC]" = OrderedDict()
         self._dforms: "OrderedDict[tuple, object]" = OrderedDict()
         self._bounds: "OrderedDict[tuple, tuple]" = OrderedDict()
+        #: per-content block digest vectors (repro.sparse.block_digests),
+        #: keyed (content key, block_rows, values); the delta engine's
+        #: diff stage digests each operand content at most once
+        self._digests: "OrderedDict[tuple, object]" = OrderedDict()
+        #: problem slot -> delta state (operands, digests, plan, result)
+        #: retained by repro.engine.delta between incremental calls
+        self._delta: "OrderedDict[tuple, object]" = OrderedDict()
+        self._delta_cache_size = 8
         self._segments = None  # lazy SegmentCache
         # reuse telemetry
         self.plan_cache_hits = 0
@@ -194,6 +202,12 @@ class ExecutionSession:
         #: formation was fused into the numeric pass (docs/kernels.md)
         self.fused_numeric_hits = 0
         self.fingerprint_digests = 0
+        # delta-execution telemetry (repro.engine.delta): calls returned
+        # straight from the cached result, calls patched row-wise, and
+        # calls whose dirty fraction forced a full recompute
+        self.delta_hits = 0
+        self.delta_patches = 0
+        self.delta_fallbacks = 0
 
     # -- fingerprints --------------------------------------------------
     def fingerprint(self, mat: CSR) -> Fingerprint:
@@ -216,15 +230,56 @@ class ExecutionSession:
             self._fps.popitem(last=False)
         return fp
 
-    def invalidate(self, mat: Optional[CSR] = None) -> None:
-        """Forget the cached fingerprint of ``mat`` (all operands when
-        ``None``) so the next call re-digests it.  Needed only after
-        mutating a fingerprinted matrix's arrays *in place* — content
-        keys make every other cache self-invalidating."""
+    def invalidate(self, mat=None) -> None:
+        """Evict the caches that depend on one operand's content.
+
+        ``mat`` may be a :class:`~repro.sparse.CSR` (its *cached*
+        fingerprint — the stale one, if the matrix was mutated in place —
+        names the entries to drop) or a :class:`Fingerprint` directly;
+        ``None`` clears every cache.  Eviction is *targeted*: only
+        plan-cache, CSC/DCSR/DCSC-memo, bound-memo, digest and delta-state
+        entries keyed by that operand's structure or content digest are
+        dropped — entries for unrelated operands survive.  Needed only
+        after mutating a fingerprinted matrix's arrays *in place* —
+        content keys make every other cache self-invalidating."""
         if mat is None:
             self._fps.clear()
+            self._plans.clear()
+            self._cscs.clear()
+            self._dforms.clear()
+            self._bounds.clear()
+            self._digests.clear()
+            self._delta.clear()
+            return
+        if isinstance(mat, Fingerprint):
+            fp = mat
         else:
-            self._fps.pop(id(mat), None)
+            ent = self._fps.pop(id(mat), None)
+            # no cached fingerprint: digest the matrix as-is (exact for a
+            # *new* object; after an unseen in-place mutation the stale
+            # entries are unreachable by content anyway)
+            fp = ent[2] if ent is not None else fingerprint_csr(mat)
+            memo = getattr(mat, "_csc_memo", None)
+            if memo is not None and memo[0] == fp.key:
+                mat._csc_memo = None
+        sk, key = fp.structure_key, fp.key
+        self._plans = OrderedDict(
+            (k, v) for k, v in self._plans.items() if sk not in k[:3]
+        )
+        self._bounds = OrderedDict(
+            (k, v) for k, v in self._bounds.items() if sk not in k[1:4]
+        )
+        self._cscs.pop(key, None)
+        self._dforms.pop(("dcsr",) + key, None)
+        self._dforms.pop(("dcsc",) + key, None)
+        self._digests = OrderedDict(
+            (k, v) for k, v in self._digests.items() if k[0] not in (key, sk)
+        )
+        self._delta = OrderedDict(
+            (k, v)
+            for k, v in self._delta.items()
+            if key not in (v.fa.key, v.fb.key) and sk != v.fm.structure_key
+        )
 
     # -- plan cache ----------------------------------------------------
     def plan(
@@ -354,6 +409,48 @@ class ExecutionSession:
             self._dforms.popitem(last=False)
         return form
 
+    # -- block digests / delta state (repro.engine.delta) --------------
+    def block_digests(
+        self,
+        mat: CSR,
+        *,
+        fp: Optional[Fingerprint] = None,
+        values: bool = True,
+        block_rows: Optional[int] = None,
+    ):
+        """Chunked digest vector of ``mat``
+        (:func:`repro.sparse.block_digests`), memoised per content — the
+        delta engine digests each operand content at most once, so the
+        unchanged side of a diff costs one LRU lookup."""
+        from ..sparse.diff import DELTA_BLOCK_ROWS, block_digests
+
+        br = DELTA_BLOCK_ROWS if block_rows is None else int(block_rows)
+        if not self.caching:
+            return block_digests(mat, block_rows=br, values=values)
+        fp = self.fingerprint(mat) if fp is None else fp
+        key = ((fp.key if values else fp.structure_key), br, values)
+        hit = self._digests.get(key)
+        if hit is not None:
+            self._digests.move_to_end(key)
+            return hit
+        vec = block_digests(mat, block_rows=br, values=values)
+        self._digests[key] = vec
+        while len(self._digests) > self._fp_cache_size:
+            self._digests.popitem(last=False)
+        return vec
+
+    def _delta_get(self, slot: tuple):
+        state = self._delta.get(slot)
+        if state is not None:
+            self._delta.move_to_end(slot)
+        return state
+
+    def _delta_store(self, slot: tuple, state) -> None:
+        self._delta[slot] = state
+        self._delta.move_to_end(slot)
+        while len(self._delta) > self._delta_cache_size:
+            self._delta.popitem(last=False)
+
     # -- symbolic bounds -----------------------------------------------
     def one_phase_bound(self, a: CSR, b: CSR, mask: CSR, *, complement: bool):
         """Cached :func:`repro.core.symbolic.one_phase_bound` (pure
@@ -452,6 +549,9 @@ class ExecutionSession:
             "bound_cache_misses": self.bound_cache_misses,
             "fused_numeric_hits": self.fused_numeric_hits,
             "fingerprint_digests": self.fingerprint_digests,
+            "delta_hits": self.delta_hits,
+            "delta_patches": self.delta_patches,
+            "delta_fallbacks": self.delta_fallbacks,
             "segments_reused": 0,
             "segments_published": 0,
             "values_republished": 0,
@@ -495,6 +595,8 @@ class ExecutionSession:
         self._cscs.clear()
         self._dforms.clear()
         self._bounds.clear()
+        self._digests.clear()
+        self._delta.clear()
 
     def __enter__(self) -> "ExecutionSession":
         return self

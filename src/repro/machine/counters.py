@@ -25,6 +25,11 @@ Counter semantics:
   ``nnz(m)/load_factor`` per row).
 * ``spa_resets`` — cells cleared when recycling a dense accumulator.
 * ``symbolic_flops`` — work done in a 2P symbolic phase.
+* ``rows_recomputed`` / ``rows_patched`` / ``delta_fallbacks`` — the
+  delta engine's work certificate (:mod:`repro.engine.delta`): output rows
+  re-executed because their inputs changed, rows spliced unchanged from
+  the cached result, and incremental calls that fell back to a full
+  recompute because the dirty fraction exceeded the threshold.
 * ``plan_cache_hits`` / ``segments_reused`` / ``bytes_republished`` —
   cross-call reuse wins of an :class:`~repro.engine.ExecutionSession`
   (plan reused from the session's LRU; shared-memory operand segments
@@ -70,6 +75,13 @@ class OpCounter:
     plan_cache_hits: int = 0
     segments_reused: int = 0
     bytes_republished: int = 0
+    # delta-execution counters (repro.engine.delta): output rows actually
+    # recomputed vs. spliced unchanged from the cached result, and calls
+    # where the dirty fraction forced a full recompute.  Zero outside
+    # ``delta=`` runs, so equivalence comparisons are unaffected.
+    rows_recomputed: int = 0
+    rows_patched: int = 0
+    delta_fallbacks: int = 0
 
     def merge(self, other: "OpCounter") -> "OpCounter":
         """Accumulate another counter into this one (in place).

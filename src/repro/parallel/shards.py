@@ -170,6 +170,11 @@ def run_sharded(
     else:
         work = sorted(cells)
     band_descs = _band_descs(plan.bands, grid.row_bounds, a.nrows)
+    # a cell whose row block owns no band rows produces nothing: prune it
+    # before dispatch (and before segment publication).  A full plan covers
+    # every row, so this only fires for partial (delta-patch) plans, where
+    # it is what keeps clean shards untouched — neither republished nor run.
+    work = [(i, j) for i, j in work if band_descs[i]]
     est_cells = _apportion_estimates(plan, grid, cells, work)
 
     tr = _obs.current()

@@ -9,6 +9,7 @@ degree-sorted relabeling lives in :mod:`repro.graphs.relabel`).
 from .csr import CSR
 from .csc import CSC
 from .dcsr import DCSC, DCSR
+from .diff import DELTA_BLOCK_ROWS, block_digests, changed_rows, dirty_blocks
 from .ops import (
     apply_mask,
     ewise_add,
@@ -28,6 +29,10 @@ __all__ = [
     "CSC",
     "DCSR",
     "DCSC",
+    "DELTA_BLOCK_ROWS",
+    "block_digests",
+    "changed_rows",
+    "dirty_blocks",
     "apply_mask",
     "ewise_add",
     "ewise_mult",

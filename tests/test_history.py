@@ -70,10 +70,11 @@ class TestCollection:
         }
         # 3 pinned schemes x (1 TC case + 2x2 grid cells), plus the
         # sessioned iterative-app records and the sharded/batched TC records
-        assert len(tiny_run["records"]) == 19
+        assert len(tiny_run["records"]) == 20
         schemes = {r["scheme"] for r in tiny_run["records"]}
         assert schemes == set(PINNED_SCHEME_NAMES) | {
-            "ktruss-session", "bc-session", "tc-sharded", "tc-batched",
+            "ktruss-session", "ktruss-delta", "bc-session", "tc-sharded",
+            "tc-batched",
         }
 
     def test_record_carries_work_certificate(self, tiny_run):
@@ -105,8 +106,11 @@ class TestCollection:
         )
 
     def test_counters_deterministic_across_collections(self, tiny_run):
+        # repeats must match tiny_run's: sessioned records report the LAST
+        # repeat's counters, and the incremental ktruss-delta record only
+        # reaches its steady state (patch vs fallback mix) from repeat 2 on.
         cases = pinned_cases(rmat_scale=6, grid_n=128, grid_degrees=(2, 4))
-        again = collect_run(repeats=1, cases=cases, session_rmat_scale=6)
+        again = collect_run(repeats=2, cases=cases, session_rmat_scale=6)
         by_key = {record_key(r): r for r in again["records"]}
         for r in tiny_run["records"]:
             assert by_key[record_key(r)]["counters"] == r["counters"]
